@@ -1,0 +1,66 @@
+"""Shared configuration for the per-figure benchmarks.
+
+Every figure of the paper's evaluation has a ``test_bench_figNN`` target
+that regenerates its series at a Python-feasible scale and prints the rows.
+Absolute numbers differ from the paper (simulator vs testbed, scaled
+topology and flow sizes); the *shape* assertions in each bench encode what
+must match: who wins, who starves, where the crossovers are.
+
+Environment knobs:
+
+* ``REPRO_BENCH_MS``    — simulated milliseconds per run (default 8).
+* ``REPRO_BENCH_SCALE`` — flow-size divisor (default 8; 1 = paper sizes).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweep import default_sweep_config
+from repro.net.topology import ClosSpec
+from repro.sim.units import MILLIS
+
+BENCH_MS = int(os.environ.get("REPRO_BENCH_MS", "8"))
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "8"))
+
+#: 12 hosts / 4 racks / 2 pods — the smallest Clos that still exercises
+#: core links, rack-granularity deployment, and ECMP. Used for the wide
+#: parameter sweeps where only *relative* shapes are asserted.
+BENCH_CLOS = ClosSpec(n_pods=2, aggs_per_pod=2, tors_per_pod=2, hosts_per_tor=3)
+
+#: 24 hosts / 8 racks — the scale at which the paper's *magnitude* claims
+#: (FlexPass beating the DCTCP baseline at full deployment, upgraded flows
+#: beating legacy mid-transition) reproduce; used by the Figure 10-13
+#: benches. Needs ~20 s per run.
+BENCH_CLOS_LARGE = ClosSpec(n_pods=2, aggs_per_pod=2, tors_per_pod=4,
+                            hosts_per_tor=3)
+
+#: Deployment points for sweep benches (full 5-point sweeps are the
+#: examples' job; benches keep the endpoints and the midpoint).
+BENCH_DEPLOYMENTS = (0.0, 0.5, 1.0)
+
+
+def bench_config(**overrides) -> ExperimentConfig:
+    base = dict(
+        sim_time_ns=BENCH_MS * MILLIS,
+        size_scale=BENCH_SCALE,
+        clos=BENCH_CLOS,
+        load=0.5,
+        seed=1,
+    )
+    base.update(overrides)
+    return default_sweep_config(**base)
+
+
+def bench_config_large(**overrides) -> ExperimentConfig:
+    """The 24-host configuration with the paper's 50%+ effective core load."""
+    base = dict(clos=BENCH_CLOS_LARGE, load=0.6, seed=2)
+    base.update(overrides)
+    return bench_config(**base)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,31 @@
+"""Figure 1: motivation — proactive transports starve DCTCP without isolation.
+
+Paper: ExpressPass takes ~95% of the bottleneck and DCTCP ends up using
+about 5% of the link capacity (1a); 16 Homa flows likewise starve 16 DCTCP
+flows (1b).
+"""
+
+from repro.experiments.figures import (
+    fig01a_expresspass_vs_dctcp,
+    fig01b_homa_vs_dctcp,
+)
+
+from benchmarks.common import run_once
+
+
+def test_bench_fig01a(benchmark):
+    fig = run_once(benchmark, fig01a_expresspass_vs_dctcp, duration_ms=20,
+                   flow_mb=30)
+    fig.print_report()
+    # Shape: DCTCP collapses to a small fraction and is starved most of the
+    # time; ExpressPass is never starved.
+    assert fig.share("dctcp") < 0.2
+    assert fig.starvation("dctcp") > 0.5
+    assert fig.starvation("expresspass") < 0.1
+
+
+def test_bench_fig01b(benchmark):
+    fig = run_once(benchmark, fig01b_homa_vs_dctcp, duration_ms=20, flow_mb=6)
+    fig.print_report()
+    assert fig.share("homa") > fig.share("dctcp")
+    assert fig.starvation("dctcp") > fig.starvation("homa")

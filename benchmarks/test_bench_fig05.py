@@ -1,0 +1,46 @@
+"""Figure 5: FlexPass vs the rejected design alternatives of §4.3.
+
+(a) RC3-style flow splitting needs a far larger reordering buffer for
+    comparable tail FCT; (b) putting the reactive sub-flow in the legacy
+    queue ("alternative queueing") degrades tail FCT across deployment.
+"""
+
+from repro.experiments.sweep import fig05a_rc3_comparison, fig05b_altq_comparison
+from repro.metrics.summary import print_table
+
+from benchmarks.common import BENCH_DEPLOYMENTS, bench_config, run_once
+
+
+def test_bench_fig05a(benchmark):
+    results = run_once(benchmark, fig05a_rc3_comparison, bench_config())
+    print_table(
+        "Figure 5(a): FlexPass vs RC3 flow splitting",
+        ("scheme", "p99 small FCT (ms)", "avg max reorder buffer (kB)"),
+        [(r.scheme, r.p99_small_ms, r.avg_max_reorder_kb) for r in results],
+    )
+    flexpass, rc3 = results
+    # Shape (the §4.3 argument): the FCTs are comparable — neither design
+    # dominates by an order of magnitude — but RC3 splitting pays a much
+    # larger reordering buffer, which is why the paper rejects it.
+    assert rc3.avg_max_reorder_kb > 2 * flexpass.avg_max_reorder_kb
+    ratio = flexpass.p99_small_ms / rc3.p99_small_ms
+    assert 0.25 < ratio < 4.0
+
+
+def test_bench_fig05b(benchmark):
+    grid = run_once(benchmark, fig05b_altq_comparison, bench_config(),
+                    BENCH_DEPLOYMENTS)
+    rows = [(s, f"{d:.0%}", c.p99_small_ms) for (s, d), c in sorted(grid.items())]
+    print_table("Figure 5(b): FlexPass vs alternative queueing",
+                ("scheme", "deployed", "p99 small FCT (ms)"), rows)
+    # Shape: both variants run the whole sweep and stay in the same
+    # performance regime. The paper's altq penalty — reactive packets
+    # trapped behind bursty legacy traffic in Q2 — needs the full-scale
+    # legacy queueing depths to dominate; at bench scale with time-scaled
+    # (shallow) thresholds the two track each other, so we assert the
+    # band rather than the ordering (see EXPERIMENTS.md).
+    for dep in BENCH_DEPLOYMENTS:
+        fp = grid[("flexpass", dep)].p99_small_ms
+        alt = grid[("flexpass_altq", dep)].p99_small_ms
+        assert fp == fp and alt == alt  # both produced data (not NaN)
+        assert fp <= alt * 2.0 and alt <= fp * 2.0

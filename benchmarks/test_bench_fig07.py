@@ -1,0 +1,38 @@
+"""Figure 7: sub-flow throughput anatomy on the two-to-one testbed topology.
+
+Paper: (a) a lone FlexPass flow fills the link — proactive w_q=50%,
+reactive the rest; (b) two FlexPass flows share fairly, mostly proactive;
+(c) against DCTCP both get ~half and the reactive sub-flow yields.
+"""
+
+from repro.experiments.figures import fig07_subflow_throughput
+
+from benchmarks.common import run_once
+
+
+def test_bench_fig07a(benchmark):
+    fig = run_once(benchmark, fig07_subflow_throughput, "one_flexpass",
+                   duration_ms=25)
+    fig.print_report()
+    assert 0.35 < fig.share("proactive") < 0.65
+    assert 0.35 < fig.share("reactive") < 0.65
+
+
+def test_bench_fig07b(benchmark):
+    fig = run_once(benchmark, fig07_subflow_throughput, "two_flexpass",
+                   duration_ms=25)
+    fig.print_report()
+    # Two proactive sub-flows contend for the w_q reservation; reactive fills
+    # the rest — proactive carries the larger share (paper: "mainly
+    # transmits the data using the proactive sub-flow").
+    assert fig.share("proactive") > 0.4
+
+
+def test_bench_fig07c(benchmark):
+    fig = run_once(benchmark, fig07_subflow_throughput, "dctcp_vs_flexpass",
+                   duration_ms=25)
+    fig.print_report()
+    # DCTCP gets ~half; FlexPass's share is almost entirely proactive.
+    assert 0.35 < fig.share("dctcp") < 0.65
+    assert fig.share("reactive") < 0.15
+    assert fig.starvation("dctcp") < 0.1

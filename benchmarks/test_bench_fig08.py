@@ -1,0 +1,26 @@
+"""Figure 8: incast tail FCT — DCTCP times out, credit transports do not.
+
+Paper: DCTCP experiences a timeout with more than 48 flows; ExpressPass and
+FlexPass never time out, and FlexPass beats ExpressPass at high incast
+degree thanks to its first-RTT reactive transmission.
+"""
+
+from repro.experiments.figures import fig08_incast
+
+from benchmarks.common import run_once
+
+
+def test_bench_fig08(benchmark):
+    fig = run_once(benchmark, fig08_incast, n_flows_list=(8, 32, 64, 80))
+    fig.print_report()
+    # Shape 1: DCTCP hits RTOs at high incast degree.
+    assert fig.timeouts["dctcp"][-1] > 0
+    # Shape 2: the credit-based transports never time out.
+    assert sum(fig.timeouts["expresspass"]) == 0
+    assert sum(fig.timeouts["flexpass"]) == 0
+    # Shape 3: at high degree the credit transports' tails beat DCTCP's RTO
+    # spikes, and FlexPass stays at or below ExpressPass (first-RTT reactive
+    # start; the two are within noise of each other at this scale).
+    assert fig.tail_fct_ms["flexpass"][-1] < fig.tail_fct_ms["dctcp"][-1]
+    assert fig.tail_fct_ms["flexpass"][-1] <= \
+        fig.tail_fct_ms["expresspass"][-1] * 1.15

@@ -1,0 +1,40 @@
+"""Figure 14: sensitivity to network load.
+
+Paper: the naïve ExpressPass rollout's mid-transition penalty grows with
+load (DCTCP even times out above 60% load), while FlexPass shows no
+degradation during deployment even at 70% load.
+"""
+
+from repro.experiments.config import SchemeName
+from repro.experiments.sweep import fig14_load_sweep
+from repro.metrics.summary import print_table
+
+from benchmarks.common import BENCH_DEPLOYMENTS, bench_config, run_once
+
+LOADS = (0.1, 0.4, 0.7)
+
+
+def test_bench_fig14(benchmark):
+    cells = run_once(
+        benchmark, fig14_load_sweep, bench_config(),
+        LOADS, BENCH_DEPLOYMENTS, (SchemeName.NAIVE, SchemeName.FLEXPASS),
+    )
+    rows = [
+        (scheme, f"{load:.0%}", f"{dep:.0%}", cell.p99_small_ms, cell.timeouts)
+        for (scheme, load, dep), cell in sorted(cells.items())
+    ]
+    print_table("Figure 14: 99p small-flow FCT vs deployment under load",
+                ("scheme", "load", "deployed", "p99 small (ms)", "timeouts"),
+                rows)
+    # Shape 1: at high load the naïve rollout's mid-transition tail is much
+    # worse than FlexPass's.
+    assert cells[("naive", 0.7, 0.5)].p99_small_ms > \
+        cells[("flexpass", 0.7, 0.5)].p99_small_ms
+    # Shape 2: FlexPass's mid-transition penalty stays bounded even at 70%
+    # load (paper: "does not show performance degradation ... even at a very
+    # high load").
+    ratio = cells[("flexpass", 0.7, 0.5)].p99_small_ms / \
+        cells[("flexpass", 0.7, 0.0)].p99_small_ms
+    naive_ratio = cells[("naive", 0.7, 0.5)].p99_small_ms / \
+        cells[("naive", 0.7, 0.0)].p99_small_ms
+    assert ratio < naive_ratio

@@ -1,0 +1,34 @@
+"""Figure 16: overall average FCT across four realistic workloads.
+
+Paper: FlexPass does "nearly no harm toward the overall average FCT during
+deployment and after deployment" on all four workloads — utilization stays
+high at every stage — while the naïve rollout inflates the average.
+"""
+
+from repro.experiments.config import SchemeName
+from repro.experiments.sweep import fig15_16_workloads
+from repro.metrics.summary import print_table
+
+from benchmarks.common import bench_config, run_once
+
+WORKLOADS = ("cachefollower", "websearch", "datamining", "hadoop")
+
+
+def test_bench_fig16(benchmark):
+    cells = run_once(
+        benchmark, fig15_16_workloads, bench_config(),
+        WORKLOADS, (SchemeName.NAIVE, SchemeName.FLEXPASS), (0.0, 0.5, 1.0),
+    )
+    rows = [
+        (wl, scheme, f"{dep:.0%}", cell.avg_all_ms)
+        for (wl, scheme, dep), cell in sorted(cells.items())
+    ]
+    print_table("Figure 16: overall average FCT",
+                ("workload", "scheme", "deployed", "avg FCT (ms)"), rows)
+    # Shape: FlexPass's mid-transition average FCT inflation is bounded and
+    # never exceeds naïve's on any workload.
+    for wl in WORKLOADS:
+        base = cells[(wl, "flexpass", 0.0)].avg_all_ms
+        assert cells[(wl, "flexpass", 0.5)].avg_all_ms < base * 2.0, wl
+        assert cells[(wl, "flexpass", 0.5)].avg_all_ms <= \
+            cells[(wl, "naive", 0.5)].avg_all_ms * 1.05, wl

@@ -1,0 +1,54 @@
+"""Simulator-core performance benchmarks (not a paper figure).
+
+Tracks the raw cost of the two hot paths every experiment is built on:
+event dispatch in the DES kernel and store-and-forward packet transport
+across the fabric. Useful for catching performance regressions that would
+silently stretch every figure bench.
+"""
+
+from repro.net.packet import Dscp, Packet, PacketKind
+from repro.net.topology import DumbbellSpec, build_dumbbell
+from repro.sim.engine import Simulator
+from repro.sim.units import MILLIS
+
+from tests.test_net_port_topology import Recorder, single_queue_factory
+
+
+def test_bench_event_dispatch(benchmark):
+    """Pure engine: schedule/execute 200k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 200_000:
+                sim.after(10, tick)
+
+        sim.at(0, tick)
+        sim.run()
+        return count[0]
+
+    executed = benchmark(run)
+    assert executed == 200_000
+
+
+def test_bench_packet_forwarding(benchmark):
+    """Fabric: push 20k packets across a 3-hop dumbbell path."""
+
+    def run():
+        sim = Simulator()
+        db = build_dumbbell(sim, single_queue_factory, DumbbellSpec(n_pairs=1))
+        rec = Recorder()
+        db.receivers[0].register_receiver(1, rec)
+        src, dst = db.senders[0], db.receivers[0]
+        n = 20_000
+        for _ in range(n):
+            src.send(Packet(PacketKind.DATA, 1, src.id, dst.id, 1584,
+                            dscp=Dscp.LEGACY))
+        sim.run()
+        return len(rec.packets)
+
+    delivered = benchmark(run)
+    assert delivered == 20_000

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Coexistence microbenchmarks (paper Figures 1, 7, and 9).
+
+Four scenarios on a 10G bottleneck:
+
+1. Naïve ExpressPass vs DCTCP (Figure 1a / 9a) — legacy starves.
+2. Homa vs DCTCP without isolation (Figure 1b) — same story.
+3. FlexPass vs DCTCP (Figure 9b) — balanced halves, no starvation.
+4. FlexPass sub-flow anatomy (Figure 7) — who carries the bytes when the
+   flow is alone, paired with another FlexPass flow, or facing DCTCP.
+
+Run:  python examples/coexistence_microbench.py
+"""
+
+from repro.experiments.figures import (
+    fig01a_expresspass_vs_dctcp,
+    fig01b_homa_vs_dctcp,
+    fig07_subflow_throughput,
+    fig09_coexistence,
+)
+
+
+def main() -> None:
+    fig01a_expresspass_vs_dctcp().print_report()
+    fig01b_homa_vs_dctcp().print_report()
+
+    xp = fig09_coexistence("expresspass")
+    fp = fig09_coexistence("flexpass")
+    xp.print_report()
+    fp.print_report()
+    print(
+        f"\nStarvation time of the legacy flow (paper Figure 9c): "
+        f"{xp.starvation('dctcp'):.1%} under naïve ExpressPass vs "
+        f"{fp.starvation('dctcp'):.1%} under FlexPass "
+        f"(paper: 96.86% vs 0.08%)."
+    )
+
+    for scenario in ("one_flexpass", "two_flexpass", "dctcp_vs_flexpass"):
+        fig07_subflow_throughput(scenario).print_report()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Workload comparison (paper Figures 15 & 16, Appendix A).
+
+Runs the deployment transition under the four realistic workloads the paper
+evaluates — cache follower, web search, data mining, and Hadoop — and prints
+tail-FCT gains and overall average FCT for the naïve ExpressPass rollout vs
+FlexPass.
+
+Run:  python examples/workload_comparison.py [--ms 8] [--load 0.5]
+"""
+
+import argparse
+
+from repro.experiments.config import SchemeName
+from repro.experiments.sweep import default_sweep_config, fig15_16_workloads
+from repro.metrics.summary import print_table
+from repro.sim.units import MILLIS
+
+WORKLOADS = ("cachefollower", "websearch", "datamining", "hadoop")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ms", type=int, default=8)
+    parser.add_argument("--load", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    base = default_sweep_config(load=args.load, sim_time_ns=args.ms * MILLIS,
+                                seed=args.seed)
+    cells = fig15_16_workloads(
+        base, WORKLOADS, (SchemeName.NAIVE, SchemeName.FLEXPASS),
+        (0.0, 0.5, 1.0),
+    )
+
+    rows15, rows16 = [], []
+    for (wl, scheme, dep), cell in sorted(cells.items()):
+        baseline = cells[(wl, scheme, 0.0)].p99_small_ms
+        gain = 1 - cell.p99_small_ms / baseline if baseline else float("nan")
+        rows15.append((wl, scheme, f"{dep:.0%}", cell.p99_small_ms,
+                       f"{gain:+.0%}"))
+        rows16.append((wl, scheme, f"{dep:.0%}", cell.avg_all_ms))
+
+    print_table("Figure 15: 99p small-flow FCT (gain vs 0% baseline)",
+                ("workload", "scheme", "deployed", "p99 (ms)", "gain"), rows15)
+    print_table("Figure 16: overall average FCT",
+                ("workload", "scheme", "deployed", "avg (ms)"), rows16)
+
+
+if __name__ == "__main__":
+    main()

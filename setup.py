@@ -1,0 +1,5 @@
+"""Setup shim so `pip install -e .` works offline (no wheel package here)."""
+
+from setuptools import setup
+
+setup()

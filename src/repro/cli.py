@@ -1,0 +1,214 @@
+"""Command-line interface: reproduce any paper figure from the shell.
+
+Examples::
+
+    python -m repro.cli list
+    python -m repro.cli figure fig09
+    python -m repro.cli sweep --schemes naive flexpass --deployments 0 0.5 1
+    python -m repro.cli run --scheme flexpass --deployment 1.0 --load 0.6
+
+The CLI is a thin wrapper over :mod:`repro.experiments.figures` and
+:mod:`repro.experiments.sweep`; everything it prints is available
+programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import SchemeName
+from repro.experiments.figures import (
+    fig01a_expresspass_vs_dctcp,
+    fig01b_homa_vs_dctcp,
+    fig07_subflow_throughput,
+    fig08_incast,
+    fig09_coexistence,
+)
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweep import (
+    default_sweep_config,
+    deployment_sweep,
+    fig05a_rc3_comparison,
+    fig10_rows,
+    fig12_rows,
+    fig13_rows,
+    fig17_seldrop_sweep,
+    fig18_wq_sweep,
+    print_grid,
+    queue_occupancy_study,
+)
+from repro.metrics.summary import print_table
+from repro.net.topology import ClosSpec
+from repro.sim.units import MILLIS
+
+
+def _figure_fig01(base) -> None:
+    fig01a_expresspass_vs_dctcp().print_report()
+    fig01b_homa_vs_dctcp().print_report()
+
+
+def _figure_fig05(base) -> None:
+    results = fig05a_rc3_comparison(base)
+    print_table("Figure 5(a): FlexPass vs RC3 splitting",
+                ("scheme", "p99 small (ms)", "avg max reorder (kB)"),
+                [(r.scheme, r.p99_small_ms, r.avg_max_reorder_kb)
+                 for r in results])
+
+
+def _figure_fig07(base) -> None:
+    for scenario in ("one_flexpass", "two_flexpass", "dctcp_vs_flexpass"):
+        fig07_subflow_throughput(scenario).print_report()
+
+
+def _figure_fig08(base) -> None:
+    fig08_incast().print_report()
+
+
+def _figure_fig09(base) -> None:
+    xp = fig09_coexistence("expresspass")
+    fp = fig09_coexistence("flexpass")
+    xp.print_report()
+    fp.print_report()
+    print_table("Figure 9(c): starvation time", ("scheme", "legacy starved"),
+                [("ExpressPass", f"{xp.starvation('dctcp'):.2%}"),
+                 ("FlexPass", f"{fp.starvation('dctcp'):.2%}")])
+
+
+def _figure_fig10(base) -> None:
+    grid = deployment_sweep(base)
+    print_grid("Figure 10", fig10_rows(grid),
+               ("scheme", "deployed", "p99 small (ms)", "avg (ms)"))
+    print_grid("Figure 12", fig12_rows(grid),
+               ("scheme", "deployed", "legacy p99", "upgraded p99"))
+    print_grid("Figure 13", fig13_rows(grid),
+               ("scheme", "deployed", "legacy stddev", "upgraded stddev"))
+
+
+def _figure_fig17(base) -> None:
+    points = fig17_seldrop_sweep(base)
+    print_table("Figure 17: selective-dropping threshold",
+                ("threshold (kB)", "p99 small (ms)", "avg (ms)"), points)
+
+
+def _figure_fig18(base) -> None:
+    points = fig18_wq_sweep(base)
+    print_table("Figure 18: w_q sweep",
+                ("w_q", "legacy degradation", "p99 at full (ms)"),
+                [(w, f"{d:+.0%}", p) for w, d, p in points])
+
+
+def _figure_queue(base) -> None:
+    rows = queue_occupancy_study(base)
+    print_table("Bounded queue (§6.2)",
+                ("deployed", "avg kB", "p90 kB", "avg red kB", "p90 red kB"),
+                [(f"{d:.0%}", a, p, ar, pr) for d, a, p, ar, pr in rows])
+
+
+FIGURES = {
+    "fig01": _figure_fig01,
+    "fig05": _figure_fig05,
+    "fig07": _figure_fig07,
+    "fig08": _figure_fig08,
+    "fig09": _figure_fig09,
+    "fig10": _figure_fig10,  # also prints 12 and 13
+    "fig17": _figure_fig17,
+    "fig18": _figure_fig18,
+    "queue": _figure_queue,
+}
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--load", type=float, default=0.5)
+    parser.add_argument("--ms", type=int, default=10, help="simulated ms")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workload", default="websearch")
+    parser.add_argument("--size-scale", type=float, default=8.0)
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="192-host 40G Clos, unscaled sizes (slow)")
+
+
+def _base_config(args):
+    overrides = dict(
+        load=args.load, sim_time_ns=args.ms * MILLIS, seed=args.seed,
+        workload=args.workload, size_scale=args.size_scale,
+    )
+    if args.paper_scale:
+        overrides.update(clos=ClosSpec.paper_scale(), size_scale=1.0)
+    return default_sweep_config(**overrides)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FlexPass (EuroSys'23) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible figures")
+
+    p_fig = sub.add_parser("figure", help="reproduce one figure")
+    p_fig.add_argument("name", choices=sorted(FIGURES))
+    _add_config_args(p_fig)
+
+    p_sweep = sub.add_parser("sweep", help="deployment sweep")
+    p_sweep.add_argument("--schemes", nargs="+",
+                         default=["naive", "owf", "ly", "flexpass"])
+    p_sweep.add_argument("--deployments", type=float, nargs="+",
+                         default=[0.0, 0.25, 0.5, 0.75, 1.0])
+    _add_config_args(p_sweep)
+
+    p_run = sub.add_parser("run", help="single experiment")
+    p_run.add_argument("--scheme", default="flexpass",
+                       choices=[s.value for s in SchemeName])
+    p_run.add_argument("--deployment", type=float, default=1.0)
+    _add_config_args(p_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(FIGURES):
+            print(name)
+        return 0
+    if args.command == "figure":
+        FIGURES[args.name](_base_config(args))
+        return 0
+    if args.command == "sweep":
+        base = _base_config(args)
+        schemes = tuple(SchemeName(s) for s in args.schemes)
+        grid = deployment_sweep(base, schemes, tuple(args.deployments))
+        print_grid("Deployment sweep", fig10_rows(grid),
+                   ("scheme", "deployed", "p99 small (ms)", "avg (ms)"))
+        print_grid("By traffic group", fig12_rows(grid),
+                   ("scheme", "deployed", "legacy p99", "upgraded p99"))
+        return 0
+    if args.command == "run":
+        base = _base_config(args)
+        cfg = base.with_(scheme=SchemeName(args.scheme),
+                         deployment=args.deployment)
+        res = run_experiment(cfg, sample_q1=True)
+        s_all, s_small = res.fct(), res.fct(small=True)
+        print_table(
+            f"{cfg.scheme.value} @ {cfg.deployment:.0%} deployment",
+            ("metric", "value"),
+            [
+                ("flows completed", f"{res.completed}/{len(res.records)}"),
+                ("avg FCT (ms)", s_all.avg_ms),
+                ("p99 small FCT (ms)", s_small.p99_ms),
+                ("timeouts", res.total_timeouts),
+                ("Q1 avg (kB)", res.q1_avg_kb),
+                ("Q1 p90 (kB)", res.q1_p90_kb),
+                ("selective drops", res.counters.dropped_selective),
+                ("ECN marks", res.counters.ecn_marked),
+                ("events simulated", res.events_run),
+                ("wall time (s)", res.wall_seconds),
+            ],
+        )
+        return 0
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

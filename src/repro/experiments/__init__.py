@@ -1,0 +1,13 @@
+"""Experiment harness: scheme wiring, runners, and per-figure reproductions."""
+
+from repro.experiments.config import ExperimentConfig, SchemeName
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.scenarios import SchemeSetup
+
+__all__ = [
+    "ExperimentConfig",
+    "SchemeName",
+    "ExperimentResult",
+    "run_experiment",
+    "SchemeSetup",
+]

@@ -1,0 +1,324 @@
+"""Per-figure reproduction harness (microbenchmarks: Figures 1, 5a, 7, 8, 9).
+
+Each ``figNN_*`` function builds the paper's scenario (scaled for pure-Python
+execution), runs it, and returns a small result object whose ``rows()`` /
+``print_report()`` emit the same series the paper plots. The deployment
+sweeps (Figures 10-18) live in :mod:`repro.experiments.sweep`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.flexpass import FlexPassParams, FlexPassReceiver, FlexPassSender
+from repro.experiments.config import ExperimentConfig, QueueSettings, SchemeName
+from repro.experiments.scenarios import (
+    flexpass_queue_factory,
+    homa_queue_factory,
+    homa_shared_queue_factory,
+    naive_queue_factory,
+)
+from repro.metrics.summary import format_table
+from repro.metrics.throughput import ThroughputMonitor, starvation_fraction
+from repro.net.packet import Dscp, Packet, PacketKind
+from repro.net.topology import (
+    DumbbellSpec,
+    StarSpec,
+    build_dumbbell,
+    build_star,
+)
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, KB, MB, MILLIS
+from repro.transports.base import FlowSpec, FlowStats
+from repro.transports.credit_feedback import CREDIT_PER_DATA
+from repro.transports.dctcp import DctcpParams, DctcpReceiver, DctcpSender
+from repro.transports.expresspass import (
+    ExpressPassParams,
+    ExpressPassReceiver,
+    ExpressPassSender,
+)
+from repro.transports.homa import HomaParams, HomaReceiver, HomaSender
+
+RATE = 10 * GBPS
+
+
+# ------------------------------------------------------------ tiny launchers
+
+
+def _launch_dctcp(sim, spec, stats, done=None):
+    params = DctcpParams()
+    DctcpReceiver(sim, spec, stats, params, on_complete=done)
+    sender = DctcpSender(sim, spec, stats, params)
+    sim.at(spec.start_ns, sender.start)
+
+
+def _launch_xp(sim, spec, stats, done=None, wq=1.0):
+    params = ExpressPassParams(max_credit_rate_bps=RATE * wq * CREDIT_PER_DATA)
+    ExpressPassReceiver(sim, spec, stats, params, on_complete=done)
+    sender = ExpressPassSender(sim, spec, stats, params)
+    sim.at(spec.start_ns, sender.start)
+
+
+def _launch_fp(sim, spec, stats, done=None, wq=0.5):
+    params = FlexPassParams(max_credit_rate_bps=RATE * wq * CREDIT_PER_DATA)
+    FlexPassReceiver(sim, spec, stats, params, on_complete=done)
+    sender = FlexPassSender(sim, spec, stats, params)
+    sim.at(spec.start_ns, sender.start)
+
+
+def _launch_homa(sim, spec, stats, done=None):
+    params = HomaParams(grant_rate_bps=RATE, grant_prio=0,
+                        unscheduled_prio=1, scheduled_prio=1)
+    HomaReceiver(sim, spec, stats, params, on_complete=done)
+    sender = HomaSender(sim, spec, stats, params)
+    sim.at(spec.start_ns, sender.start)
+
+
+def _classify_by_scheme(flow_schemes: Dict[int, str]):
+    def classify(pkt: Packet) -> Optional[str]:
+        if pkt.kind != PacketKind.DATA:
+            return None
+        return flow_schemes.get(pkt.flow_id)
+
+    return classify
+
+
+def _classify_by_subflow(flow_schemes: Dict[int, str]):
+    def classify(pkt: Packet) -> Optional[str]:
+        if pkt.kind != PacketKind.DATA:
+            return None
+        base = flow_schemes.get(pkt.flow_id)
+        if base is None:
+            return None
+        if base == "flexpass":
+            return "proactive" if pkt.subflow == 0 else "reactive"
+        return base
+
+    return classify
+
+
+# ------------------------------------------------------------------ Figure 1
+
+
+@dataclass
+class ThroughputFigure:
+    """A throughput-vs-time comparison on one bottleneck."""
+
+    title: str
+    bin_ms: float
+    series: Dict[str, List[float]]  # category -> Gbps per bin
+    capacity_gbps: float
+
+    def share(self, category: str) -> float:
+        total = sum(sum(s) for s in self.series.values())
+        return sum(self.series[category]) / total if total else 0.0
+
+    def starvation(self, category: str, threshold: float = 0.2) -> float:
+        return starvation_fraction(self.series[category], self.capacity_gbps,
+                                   threshold)
+
+    def rows(self) -> List[Tuple[object, ...]]:
+        return [
+            (name, f"{self.share(name) * 100:.1f}%",
+             f"{self.starvation(name) * 100:.1f}%")
+            for name in sorted(self.series)
+        ]
+
+    def print_report(self) -> None:
+        print(f"\n== {self.title} ==")
+        print(format_table(("traffic", "bandwidth share", "starvation time"),
+                           self.rows()))
+
+
+def fig01a_expresspass_vs_dctcp(duration_ms: int = 40,
+                                flow_mb: int = 60) -> ThroughputFigure:
+    """Figure 1(a): one ExpressPass flow starves one DCTCP flow on a 10G
+    dumbbell when both share the data queue (naïve coexistence)."""
+    sim = Simulator()
+    db = build_dumbbell(sim, naive_queue_factory(QueueSettings()),
+                        DumbbellSpec(n_pairs=2))
+    schemes = {1: "expresspass", 2: "dctcp"}
+    mon = ThroughputMonitor(db.bottleneck, _classify_by_scheme(schemes))
+    _launch_xp(sim, FlowSpec(1, db.senders[0], db.receivers[0], flow_mb * MB, 0,
+                             scheme="expresspass"), FlowStats())
+    _launch_dctcp(sim, FlowSpec(2, db.senders[1], db.receivers[1], flow_mb * MB, 0,
+                                scheme="dctcp"), FlowStats())
+    horizon = duration_ms * MILLIS
+    sim.run(until=horizon)
+    return ThroughputFigure(
+        "Figure 1(a): ExpressPass vs DCTCP, shared queue",
+        1.0, {k: mon.series_gbps(k, horizon) for k in schemes.values()}, 10.0,
+    )
+
+
+def fig01b_homa_vs_dctcp(duration_ms: int = 40, n_each: int = 16,
+                         flow_mb: int = 8) -> ThroughputFigure:
+    """Figure 1(b): 16 Homa flows starve 16 DCTCP flows when nothing
+    isolates them — Homa grants at the full link capacity with no awareness
+    of the reactive traffic, DCTCP backs off on the resulting marks."""
+    sim = Simulator()
+    db = build_dumbbell(sim, homa_shared_queue_factory(),
+                        DumbbellSpec(n_pairs=2))
+    schemes: Dict[int, str] = {}
+    mon = ThroughputMonitor(db.bottleneck, _classify_by_scheme(schemes))
+    fid = 0
+    for i in range(n_each):
+        fid += 1
+        schemes[fid] = "homa"
+        _launch_homa(sim, FlowSpec(fid, db.senders[0], db.receivers[0],
+                                   flow_mb * MB, 0, scheme="homa"), FlowStats())
+        fid += 1
+        schemes[fid] = "dctcp"
+        _launch_dctcp(sim, FlowSpec(fid, db.senders[1], db.receivers[1],
+                                    flow_mb * MB, 0, scheme="dctcp"), FlowStats())
+    horizon = duration_ms * MILLIS
+    sim.run(until=horizon)
+    return ThroughputFigure(
+        "Figure 1(b): Homa vs DCTCP, no isolation",
+        1.0,
+        {"homa": mon.series_gbps("homa", horizon),
+         "dctcp": mon.series_gbps("dctcp", horizon)},
+        10.0,
+    )
+
+
+# ------------------------------------------------------------------ Figure 7
+
+
+def fig07_subflow_throughput(scenario: str,
+                             duration_ms: int = 40) -> ThroughputFigure:
+    """Figure 7: sub-flow bandwidth shares on a two-to-one testbed topology.
+
+    ``scenario``: "one_flexpass" (a), "two_flexpass" (b), or
+    "dctcp_vs_flexpass" (c).
+    """
+    sim = Simulator()
+    star = build_star(sim, flexpass_queue_factory(QueueSettings(wq=0.5)),
+                      StarSpec(n_hosts=3))
+    receiver = star.hosts[2]
+    bottleneck = star.downlink(receiver)
+    schemes: Dict[int, str] = {}
+    mon = ThroughputMonitor(bottleneck, _classify_by_subflow(schemes))
+    size = 50 * MB
+    if scenario == "one_flexpass":
+        schemes[1] = "flexpass"
+        _launch_fp(sim, FlowSpec(1, star.hosts[0], receiver, size, 0,
+                                 scheme="flexpass", group="new"), FlowStats())
+    elif scenario == "two_flexpass":
+        for i in (0, 1):
+            schemes[i + 1] = "flexpass"
+            _launch_fp(sim, FlowSpec(i + 1, star.hosts[i], receiver, size, 0,
+                                     scheme="flexpass", group="new"), FlowStats())
+    elif scenario == "dctcp_vs_flexpass":
+        schemes[1] = "flexpass"
+        _launch_fp(sim, FlowSpec(1, star.hosts[0], receiver, size, 0,
+                                 scheme="flexpass", group="new"), FlowStats())
+        schemes[2] = "dctcp"
+        _launch_dctcp(sim, FlowSpec(2, star.hosts[1], receiver, size, 0,
+                                    scheme="dctcp"), FlowStats())
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}")
+    horizon = duration_ms * MILLIS
+    sim.run(until=horizon)
+    categories = sorted({c for c in mon.categories()})
+    return ThroughputFigure(
+        f"Figure 7 ({scenario})", 1.0,
+        {c: mon.series_gbps(c, horizon) for c in categories}, 10.0,
+    )
+
+
+# ------------------------------------------------------------------ Figure 8
+
+
+@dataclass
+class IncastFigure:
+    """Tail FCT vs incast degree for several transports (Figure 8)."""
+
+    n_flows: List[int]
+    #: scheme -> [max FCT ms per point], aligned with n_flows
+    tail_fct_ms: Dict[str, List[float]]
+    timeouts: Dict[str, List[int]]
+
+    def rows(self):
+        out = []
+        for i, n in enumerate(self.n_flows):
+            for scheme in sorted(self.tail_fct_ms):
+                out.append((n, scheme, self.tail_fct_ms[scheme][i],
+                            self.timeouts[scheme][i]))
+        return out
+
+    def print_report(self):
+        print("\n== Figure 8: incast tail FCT (64 kB responses, 8 senders) ==")
+        print(format_table(("flows", "scheme", "max FCT (ms)", "timeouts"),
+                           self.rows()))
+
+
+def fig08_incast(n_flows_list: Sequence[int] = (8, 24, 48, 80),
+                 response_kb: int = 64) -> IncastFigure:
+    """Figure 8: 8-to-1 incast; DCTCP hits RTOs at high degree, ExpressPass
+    and FlexPass never do."""
+    schemes = {
+        "dctcp": (_launch_dctcp, flexpass_queue_factory(QueueSettings(wq=0.5))),
+        "expresspass": (lambda sim, spec, stats, done=None:
+                        _launch_xp(sim, spec, stats, done, wq=0.5),
+                        flexpass_queue_factory(QueueSettings(wq=0.5))),
+        "flexpass": (_launch_fp, flexpass_queue_factory(QueueSettings(wq=0.5))),
+    }
+    fig = IncastFigure(list(n_flows_list),
+                       {s: [] for s in schemes}, {s: [] for s in schemes})
+    for n in n_flows_list:
+        for name, (launch, factory) in schemes.items():
+            sim = Simulator()
+            star = build_star(sim, factory,
+                              StarSpec(n_hosts=9, buffer_bytes=2 * MB))
+            receiver = star.hosts[0]
+            stats_list = []
+            fid = 0
+            senders = star.hosts[1:]
+            for k in range(n):
+                fid += 1
+                src = senders[k % len(senders)]
+                spec = FlowSpec(fid, src, receiver, response_kb * KB, 0,
+                                scheme=name, group="new")
+                st = FlowStats()
+                stats_list.append(st)
+                launch(sim, spec, st)
+            sim.run(until=400 * MILLIS)
+            fcts = [s.fct_ns() / 1e6 for s in stats_list if s.completed]
+            fig.tail_fct_ms[name].append(max(fcts) if fcts else float("inf"))
+            fig.timeouts[name].append(sum(s.timeouts for s in stats_list))
+    return fig
+
+
+# ------------------------------------------------------------------ Figure 9
+
+
+def fig09_coexistence(scheme: str, duration_ms: int = 40,
+                      flow_mb: int = 60) -> ThroughputFigure:
+    """Figure 9: one new-transport flow vs one DCTCP flow on a shared 10G
+    bottleneck. ``scheme`` is "expresspass" (a) or "flexpass" (b); (c)'s
+    starvation-time bars come from ``ThroughputFigure.starvation``."""
+    sim = Simulator()
+    if scheme == "expresspass":
+        factory = naive_queue_factory(QueueSettings())
+        launch = _launch_xp
+    elif scheme == "flexpass":
+        factory = flexpass_queue_factory(QueueSettings(wq=0.5))
+        launch = _launch_fp
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    sim = Simulator()
+    db = build_dumbbell(sim, factory, DumbbellSpec(n_pairs=2))
+    schemes = {1: scheme, 2: "dctcp"}
+    mon = ThroughputMonitor(db.bottleneck, _classify_by_scheme(schemes))
+    launch(sim, FlowSpec(1, db.senders[0], db.receivers[0], flow_mb * MB, 0,
+                         scheme=scheme, group="new"), FlowStats())
+    _launch_dctcp(sim, FlowSpec(2, db.senders[1], db.receivers[1], flow_mb * MB,
+                                0, scheme="dctcp"), FlowStats())
+    horizon = duration_ms * MILLIS
+    sim.run(until=horizon)
+    return ThroughputFigure(
+        f"Figure 9: {scheme} vs DCTCP", 1.0,
+        {k: mon.series_gbps(k, horizon) for k in schemes.values()}, 10.0,
+    )

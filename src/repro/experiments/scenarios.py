@@ -1,0 +1,357 @@
+"""Scheme wiring: switch queue configurations and endpoint factories.
+
+Every deployment scheme in §6.2 is a pair of decisions:
+
+1. **How switch ports are configured** (``queue_factory``): which queues
+   exist, their priorities/weights, credit rate limits, ECN and selective-
+   dropping thresholds, and the DSCP -> queue classifier.
+2. **Which transport a "new" flow uses** (``launch``): legacy flows are
+   always DCTCP; upgraded flows are ExpressPass (naïve/oWF), Layering, or
+   FlexPass (and its §4.3 variants).
+
+:class:`SchemeSetup` bundles both so topology builders and traffic
+generators stay scheme-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.flexpass import FlexPassParams, FlexPassReceiver, FlexPassSender
+from repro.core.variants import (
+    Rc3SplitReceiver,
+    Rc3SplitSender,
+    alt_queue_params,
+)
+from repro.experiments.config import ExperimentConfig, QueueSettings, SchemeName
+from repro.net.packet import Dscp
+from repro.net.queues import PacketQueue, QueueConfig
+from repro.net.ratelimit import TokenBucket
+from repro.net.scheduler import QueueSchedule
+from repro.sim.units import KB
+from repro.transports.base import CompletionCallback, FlowSpec, FlowStats
+from repro.transports.credit_feedback import CREDIT_PER_DATA, FeedbackParams
+from repro.transports.dctcp import DctcpParams, DctcpReceiver, DctcpSender
+from repro.transports.expresspass import (
+    ExpressPassParams,
+    ExpressPassReceiver,
+    ExpressPassSender,
+)
+from repro.transports.homa import HomaParams, HomaReceiver, HomaSender
+from repro.transports.layering import LayeringParams, LayeringReceiver, LayeringSender
+
+#: Every DSCP the classifier must map somewhere.
+ALL_DSCPS: List[int] = [d.value for d in Dscp] + [
+    Dscp.HOMA_BASE + p for p in range(8)
+]
+
+def _scaled(anchor_at_40g: int, rate_bps: int) -> int:
+    """Rate-proportional threshold: equal queueing *delay* to the paper's
+    40 Gbps configuration. Floored at ~4 MTUs so marking still works on
+    slow links."""
+    return max(4 * 1584, int(anchor_at_40g * rate_bps / 40e9))
+
+
+def _q1_ecn_bytes(qs: QueueSettings, rate_bps: int) -> int:
+    if qs.q1_ecn_bytes is not None:
+        return qs.q1_ecn_bytes
+    return _scaled(QueueSettings.Q1_ECN_AT_40G, rate_bps)
+
+
+def _q1_seldrop_bytes(qs: QueueSettings, rate_bps: int) -> int:
+    if qs.q1_seldrop_bytes is not None:
+        return qs.q1_seldrop_bytes
+    return _scaled(QueueSettings.Q1_SELDROP_AT_40G, rate_bps)
+
+
+def _q2_ecn_bytes(qs: QueueSettings, rate_bps: int) -> int:
+    if qs.q2_ecn_bytes is not None:
+        return qs.q2_ecn_bytes
+    return _scaled(QueueSettings.Q2_ECN_AT_40G, rate_bps)
+
+
+# ------------------------------------------------------------ queue factories
+
+
+def flexpass_queue_factory(qs: QueueSettings):
+    """§4.1 switch configuration: Q0 credits (strict priority, rate limited
+    to w_q), Q1 FlexPass data (ECN + selective dropping), Q2 legacy —
+    Q1/Q2 scheduled by DWRR with weights w_q / 1-w_q.
+
+    Host NICs carry the same queue structure but their credit limiter runs
+    at the full line-rate equivalent: per-flow credit pacing already caps
+    each flow at w_q, and the testbed behaviour of Figure 7(b) — two
+    proactive sub-flows together filling the link and starving reactive —
+    requires the NIC not to clamp the *aggregate* to w_q.
+    """
+
+    def factory(name: str, rate_bps: int, is_host_nic: bool):
+        credit_q = PacketQueue(
+            QueueConfig(name="q0-credit", capacity_bytes=qs.credit_buffer_bytes)
+        )
+        flex_q = PacketQueue(
+            QueueConfig(
+                name="q1-flexpass",
+                ecn_threshold_bytes=_q1_ecn_bytes(qs, rate_bps),
+                selective_drop_bytes=_q1_seldrop_bytes(qs, rate_bps),
+            )
+        )
+        legacy_q = PacketQueue(
+            QueueConfig(name="q2-legacy", ecn_threshold_bytes=_q2_ecn_bytes(qs, rate_bps))
+        )
+        credit_fraction = 1.0 if is_host_nic else qs.wq
+        pacer = TokenBucket(
+            max(1, int(rate_bps * credit_fraction * CREDIT_PER_DATA)),
+            bucket_bytes=2 * 84,
+        )
+        schedules = [
+            QueueSchedule(credit_q, priority=0, weight=1.0, pacer=pacer),
+            QueueSchedule(flex_q, priority=1, weight=qs.wq),
+            QueueSchedule(legacy_q, priority=1, weight=1.0 - qs.wq),
+        ]
+        classifier = {d: 2 for d in ALL_DSCPS}
+        classifier[Dscp.CREDIT.value] = 0
+        classifier[Dscp.PROACTIVE_DATA.value] = 1
+        classifier[Dscp.REACTIVE_DATA.value] = 1
+        classifier[Dscp.FLEX_CONTROL.value] = 1
+        return schedules, classifier
+
+    return factory
+
+
+def naive_queue_factory(qs: QueueSettings):
+    """Naïve deployment: full-rate credit queue + ONE shared data queue for
+    ExpressPass data and legacy traffic (no isolation)."""
+
+    def factory(name: str, rate_bps: int, is_host_nic: bool):
+        credit_q = PacketQueue(
+            QueueConfig(name="q0-credit", capacity_bytes=qs.credit_buffer_bytes)
+        )
+        data_q = PacketQueue(
+            QueueConfig(name="q1-shared", ecn_threshold_bytes=_q2_ecn_bytes(qs, rate_bps))
+        )
+        pacer = TokenBucket(max(1, int(rate_bps * CREDIT_PER_DATA)), bucket_bytes=2 * 84)
+        schedules = [
+            QueueSchedule(credit_q, priority=0, weight=1.0, pacer=pacer),
+            QueueSchedule(data_q, priority=1, weight=1.0),
+        ]
+        classifier = {d: 1 for d in ALL_DSCPS}
+        classifier[Dscp.CREDIT.value] = 0
+        return schedules, classifier
+
+    return factory
+
+
+def owf_queue_factory(qs: QueueSettings, fraction: float):
+    """Oracle WFQ: two data queues weighted by the *known* traffic split
+    (the impractical scheme the paper uses as the upper baseline)."""
+    fraction = min(max(fraction, 0.02), 0.98)  # DWRR needs nonzero weights
+
+    def factory(name: str, rate_bps: int, is_host_nic: bool):
+        credit_q = PacketQueue(
+            QueueConfig(name="q0-credit", capacity_bytes=qs.credit_buffer_bytes)
+        )
+        xp_q = PacketQueue(QueueConfig(name="q1-xp"))
+        legacy_q = PacketQueue(
+            QueueConfig(name="q2-legacy", ecn_threshold_bytes=_q2_ecn_bytes(qs, rate_bps))
+        )
+        credit_fraction = 1.0 if is_host_nic else fraction
+        pacer = TokenBucket(
+            max(1, int(rate_bps * credit_fraction * CREDIT_PER_DATA)),
+            bucket_bytes=2 * 84,
+        )
+        schedules = [
+            QueueSchedule(credit_q, priority=0, weight=1.0, pacer=pacer),
+            QueueSchedule(xp_q, priority=1, weight=fraction),
+            QueueSchedule(legacy_q, priority=1, weight=1.0 - fraction),
+        ]
+        classifier = {d: 2 for d in ALL_DSCPS}
+        classifier[Dscp.CREDIT.value] = 0
+        classifier[Dscp.PROACTIVE_DATA.value] = 1
+        classifier[Dscp.FLEX_CONTROL.value] = 1
+        return schedules, classifier
+
+    return factory
+
+
+def homa_shared_queue_factory(ecn_kb: int = 100):
+    """Figure 1(b) configuration: grants in a small strict-priority queue,
+    Homa data and DCTCP sharing one ECN FIFO (no coexistence measures).
+
+    Note (DESIGN.md): with DCTCP alone in a strictly-higher-priority queue
+    (footnote 3's testbed mapping), a work-conserving per-packet priority
+    scheduler provably protects ACK-clocked DCTCP — our model shows that,
+    see tests. The published starvation therefore reproduces under the
+    shared-queue premise the figure is actually making a point about.
+    """
+
+    def factory(name: str, rate_bps: int, is_host_nic: bool):
+        grant_q = PacketQueue(QueueConfig(name="grants", capacity_bytes=10 * KB))
+        data_q = PacketQueue(
+            QueueConfig(name="shared", ecn_threshold_bytes=ecn_kb * KB)
+        )
+        schedules = [
+            QueueSchedule(grant_q, priority=0, weight=1.0),
+            QueueSchedule(data_q, priority=1, weight=1.0),
+        ]
+        classifier = {d: 1 for d in ALL_DSCPS}
+        classifier[Dscp.HOMA_BASE + 0] = 0  # grants
+        return schedules, classifier
+
+    return factory
+
+
+def homa_queue_factory(n_prios: int = 8):
+    """Eight strict priority queues; DCTCP mapped to the highest (footnote 3)."""
+
+    def factory(name: str, rate_bps: int, is_host_nic: bool):
+        schedules = []
+        classifier: Dict[int, int] = {}
+        for p in range(n_prios):
+            q = PacketQueue(QueueConfig(name=f"prio{p}"))
+            schedules.append(QueueSchedule(q, priority=p, weight=1.0))
+            classifier[Dscp.HOMA_BASE + p] = p
+        for d in (Dscp.LEGACY, Dscp.CREDIT, Dscp.PROACTIVE_DATA,
+                  Dscp.REACTIVE_DATA, Dscp.FLEX_CONTROL):
+            classifier[d.value] = 0
+        # give the DCTCP queue its ECN signal
+        schedules[0].queue.config.ecn_threshold_bytes = 65 * KB
+        return schedules, classifier
+
+    return factory
+
+
+# --------------------------------------------------------------- SchemeSetup
+
+
+@dataclass
+class SchemeSetup:
+    """Queue factory + per-flow endpoint launcher for one scheme."""
+
+    name: SchemeName
+    queue_factory: Callable
+    #: launch(sim, spec, stats, on_complete) -> sender (already registered)
+    launch_new: Callable
+    launch_legacy: Callable
+
+    def launch(self, sim, spec: FlowSpec, on_complete: Optional[CompletionCallback]):
+        """Create endpoints for ``spec`` and schedule the sender start."""
+        stats = FlowStats()
+        if spec.group == "new":
+            sender = self.launch_new(sim, spec, stats, on_complete)
+        else:
+            sender = self.launch_legacy(sim, spec, stats, on_complete)
+        if spec.start_ns >= sim.now:
+            sim.at(spec.start_ns, sender.start)
+        else:
+            sender.start()
+        return stats
+
+
+def _dctcp_launcher():
+    def launch(sim, spec, stats, on_complete):
+        params = DctcpParams()
+        DctcpReceiver(sim, spec, stats, params, on_complete=on_complete)
+        return DctcpSender(sim, spec, stats, params)
+
+    return launch
+
+
+def _expresspass_launcher(cfg: ExperimentConfig, credit_fraction: float,
+                          shared_queue: bool):
+    rate = cfg.clos.rate_bps
+
+    def launch(sim, spec, stats, on_complete):
+        params = ExpressPassParams(
+            max_credit_rate_bps=rate * credit_fraction * CREDIT_PER_DATA,
+            update_period_ns=cfg.update_period_ns,
+        )
+        if shared_queue:
+            # naïve scheme: data and control share the legacy queue's DSCP
+            params = replace(
+                params,
+                data_dscp=Dscp.PROACTIVE_DATA,  # classifier sends it to Q1 anyway
+                ack_dscp=Dscp.FLEX_CONTROL,
+                ctrl_dscp=Dscp.FLEX_CONTROL,
+            )
+        ExpressPassReceiver(sim, spec, stats, params, on_complete=on_complete)
+        return ExpressPassSender(sim, spec, stats, params)
+
+    return launch
+
+
+def _layering_launcher(cfg: ExperimentConfig):
+    rate = cfg.clos.rate_bps
+
+    def launch(sim, spec, stats, on_complete):
+        params = LayeringParams(
+            max_credit_rate_bps=rate * CREDIT_PER_DATA,
+            update_period_ns=cfg.update_period_ns,
+        )
+        LayeringReceiver(sim, spec, stats, params, on_complete=on_complete)
+        return LayeringSender(sim, spec, stats, params)
+
+    return launch
+
+
+def flexpass_params_for(cfg: ExperimentConfig) -> FlexPassParams:
+    return FlexPassParams(
+        max_credit_rate_bps=cfg.clos.rate_bps * cfg.queues.wq * CREDIT_PER_DATA,
+        update_period_ns=cfg.update_period_ns,
+    )
+
+
+def _flexpass_launcher(cfg: ExperimentConfig, variant: str = ""):
+    def launch(sim, spec, stats, on_complete):
+        params = flexpass_params_for(cfg)
+        if variant == "altq":
+            params = alt_queue_params(params)
+        if variant == "rc3":
+            params = replace(params, enable_proactive_rtx=False)
+            Rc3SplitReceiver(sim, spec, stats, params, on_complete=on_complete)
+            return Rc3SplitSender(sim, spec, stats, params)
+        FlexPassReceiver(sim, spec, stats, params, on_complete=on_complete)
+        return FlexPassSender(sim, spec, stats, params)
+
+    return launch
+
+
+def make_scheme_setup(cfg: ExperimentConfig) -> SchemeSetup:
+    """Build the queue factory and flow launchers for ``cfg.scheme``."""
+    qs = cfg.queues
+    legacy = _dctcp_launcher()
+    scheme = cfg.scheme
+    if scheme == SchemeName.DCTCP:
+        return SchemeSetup(scheme, flexpass_queue_factory(qs), legacy, legacy)
+    if scheme == SchemeName.NAIVE:
+        return SchemeSetup(
+            scheme, naive_queue_factory(qs),
+            _expresspass_launcher(cfg, credit_fraction=1.0, shared_queue=True),
+            legacy,
+        )
+    if scheme == SchemeName.OWF:
+        # the oracle knows the true fraction of new-transport traffic
+        fraction = max(cfg.deployment ** 2, 0.02)  # both endpoints upgraded
+        return SchemeSetup(
+            scheme, owf_queue_factory(qs, fraction),
+            _expresspass_launcher(cfg, credit_fraction=fraction, shared_queue=False),
+            legacy,
+        )
+    if scheme == SchemeName.LAYERING:
+        return SchemeSetup(
+            scheme, naive_queue_factory(qs), _layering_launcher(cfg), legacy
+        )
+    if scheme == SchemeName.FLEXPASS:
+        return SchemeSetup(
+            scheme, flexpass_queue_factory(qs), _flexpass_launcher(cfg), legacy
+        )
+    if scheme == SchemeName.FLEXPASS_RC3:
+        return SchemeSetup(
+            scheme, flexpass_queue_factory(qs), _flexpass_launcher(cfg, "rc3"), legacy
+        )
+    if scheme == SchemeName.FLEXPASS_ALTQ:
+        return SchemeSetup(
+            scheme, flexpass_queue_factory(qs), _flexpass_launcher(cfg, "altq"), legacy
+        )
+    raise ValueError(f"unknown scheme {scheme}")

@@ -1,0 +1,311 @@
+"""Deployment/parameter sweeps: Figures 5, 10-18 and the §6.2 queue study.
+
+A *sweep* runs :func:`repro.experiments.runner.run_experiment` over a grid
+and distills each run into a :class:`SweepCell`. One grid of runs feeds
+Figures 10, 12, and 13 (they are different projections of the same data),
+mirroring how the paper's artifact derives several figures from one batch
+of ns-2 runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig, SchemeName
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.metrics.summary import format_table
+from repro.net.topology import ClosSpec
+from repro.sim.units import MILLIS
+
+#: Deployment points the paper sweeps (fractions of upgraded racks).
+DEPLOYMENTS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: The four §6.2 schemes.
+SWEEP_SCHEMES = (SchemeName.NAIVE, SchemeName.OWF, SchemeName.LAYERING,
+                 SchemeName.FLEXPASS)
+
+
+def default_sweep_config(**overrides) -> ExperimentConfig:
+    """Scaled-down base config for Python-speed sweeps; pass paper-scale
+    overrides (``clos=ClosSpec.paper_scale(), size_scale=1, ...``) for
+    full-fidelity runs."""
+    base = dict(
+        workload="websearch",
+        load=0.5,
+        sim_time_ns=10 * MILLIS,
+        size_scale=8.0,
+        seed=1,
+        clos=ClosSpec(n_pods=2, aggs_per_pod=2, tors_per_pod=2, hosts_per_tor=4),
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+@dataclass
+class SweepCell:
+    """Distilled metrics of one (scheme, deployment, ...) run."""
+
+    scheme: str
+    deployment: float
+    load: float
+    workload: str
+    flows: int
+    completed: int
+    avg_all_ms: float
+    p99_small_ms: float
+    p99_small_new_ms: float
+    p99_small_legacy_ms: float
+    stddev_small_new_ms: float
+    stddev_small_legacy_ms: float
+    timeouts: int
+    q1_avg_kb: float = 0.0
+    q1_p90_kb: float = 0.0
+    q1_avg_red_kb: float = 0.0
+    q1_p90_red_kb: float = 0.0
+    dropped_selective: int = 0
+    proactive_rtx: int = 0
+    duplicate_bytes: int = 0
+    total_bytes: int = 0
+
+    @classmethod
+    def from_result(cls, res: ExperimentResult) -> "SweepCell":
+        cfg = res.config
+        return cls(
+            scheme=cfg.scheme.value,
+            deployment=cfg.deployment,
+            load=cfg.load,
+            workload=cfg.workload,
+            flows=len(res.records),
+            completed=res.completed,
+            avg_all_ms=res.fct().avg_ms,
+            p99_small_ms=res.fct(small=True).p99_ms,
+            p99_small_new_ms=res.fct(small=True, group="new").p99_ms,
+            p99_small_legacy_ms=res.fct(small=True, group="legacy").p99_ms,
+            stddev_small_new_ms=res.fct(small=True, group="new").stddev_ms,
+            stddev_small_legacy_ms=res.fct(small=True, group="legacy").stddev_ms,
+            timeouts=res.total_timeouts,
+            q1_avg_kb=res.q1_avg_kb,
+            q1_p90_kb=res.q1_p90_kb,
+            q1_avg_red_kb=res.q1_avg_red_kb,
+            q1_p90_red_kb=res.q1_p90_red_kb,
+            dropped_selective=res.counters.dropped_selective,
+            proactive_rtx=sum(r.proactive_retransmissions for r in res.records),
+            duplicate_bytes=sum(r.duplicate_bytes for r in res.records),
+            total_bytes=sum(r.size_bytes for r in res.records if r.completed),
+        )
+
+
+GridKey = Tuple[str, float]
+
+
+def deployment_sweep(base: ExperimentConfig,
+                     schemes: Sequence[SchemeName] = SWEEP_SCHEMES,
+                     deployments: Sequence[float] = DEPLOYMENTS,
+                     sample_q1: bool = False) -> Dict[GridKey, SweepCell]:
+    """Run the Figure 10/12/13 grid: schemes x deployment fractions.
+
+    At deployment 0.0 every scheme degenerates to pure DCTCP, so that point
+    is run once and shared.
+    """
+    grid: Dict[GridKey, SweepCell] = {}
+    baseline: Optional[SweepCell] = None
+    for scheme in schemes:
+        for dep in deployments:
+            if dep == 0.0:
+                if baseline is None:
+                    cfg = base.with_(scheme=SchemeName.DCTCP, deployment=0.0)
+                    baseline = SweepCell.from_result(
+                        run_experiment(cfg, sample_q1=sample_q1)
+                    )
+                grid[(scheme.value, 0.0)] = baseline
+                continue
+            cfg = base.with_(scheme=scheme, deployment=dep)
+            grid[(scheme.value, dep)] = SweepCell.from_result(
+                run_experiment(cfg, sample_q1=sample_q1)
+            )
+    return grid
+
+
+# ------------------------------------------------------------- projections
+
+
+def fig10_rows(grid: Dict[GridKey, SweepCell]):
+    """Figure 10 (and 11 with a mixed-traffic grid): overall tail + average
+    FCT per scheme per deployment point."""
+    rows = []
+    for (scheme, dep), cell in sorted(grid.items()):
+        rows.append((scheme, f"{dep:.0%}", cell.p99_small_ms, cell.avg_all_ms))
+    return rows
+
+
+def fig12_rows(grid: Dict[GridKey, SweepCell]):
+    """Figure 12: 99p small-flow FCT split legacy vs upgraded."""
+    rows = []
+    for (scheme, dep), cell in sorted(grid.items()):
+        rows.append((scheme, f"{dep:.0%}", cell.p99_small_legacy_ms,
+                     cell.p99_small_new_ms))
+    return rows
+
+
+def fig13_rows(grid: Dict[GridKey, SweepCell]):
+    """Figure 13: FCT standard deviation split legacy vs upgraded."""
+    rows = []
+    for (scheme, dep), cell in sorted(grid.items()):
+        rows.append((scheme, f"{dep:.0%}", cell.stddev_small_legacy_ms,
+                     cell.stddev_small_new_ms))
+    return rows
+
+
+def print_grid(title: str, rows, headers) -> None:
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))
+
+
+# ---------------------------------------------------------------- Figure 14
+
+
+def fig14_load_sweep(base: ExperimentConfig,
+                     loads: Sequence[float] = (0.1, 0.4, 0.7),
+                     deployments: Sequence[float] = DEPLOYMENTS,
+                     schemes: Sequence[SchemeName] = (SchemeName.NAIVE,
+                                                      SchemeName.FLEXPASS),
+                     ) -> Dict[Tuple[str, float, float], SweepCell]:
+    """Figure 14: 99p small-flow FCT vs deployment under different loads."""
+    out: Dict[Tuple[str, float, float], SweepCell] = {}
+    for load in loads:
+        grid = deployment_sweep(base.with_(load=load), schemes, deployments)
+        for (scheme, dep), cell in grid.items():
+            out[(scheme, load, dep)] = cell
+    return out
+
+
+# ----------------------------------------------------------- Figures 15/16
+
+
+def fig15_16_workloads(base: ExperimentConfig,
+                       workloads: Sequence[str] = ("cachefollower", "websearch",
+                                                   "datamining", "hadoop"),
+                       schemes: Sequence[SchemeName] = SWEEP_SCHEMES,
+                       deployments: Sequence[float] = (0.0, 0.5, 1.0),
+                       ) -> Dict[Tuple[str, str, float], SweepCell]:
+    """Figures 15 & 16: the deployment sweep across four realistic workloads."""
+    out: Dict[Tuple[str, str, float], SweepCell] = {}
+    for wl in workloads:
+        grid = deployment_sweep(base.with_(workload=wl), schemes, deployments)
+        for (scheme, dep), cell in grid.items():
+            out[(wl, scheme, dep)] = cell
+    return out
+
+
+# ---------------------------------------------------------------- Figure 17
+
+
+def fig17_seldrop_sweep(base: ExperimentConfig,
+                        thresholds_kb: Sequence[int] = (50, 100, 150, 200),
+                        ) -> List[Tuple[int, float, float]]:
+    """Figure 17: selective-dropping threshold trade-off at full deployment.
+
+    Returns (threshold_kB, p99_small_ms, avg_all_ms) per point.
+    """
+    out = []
+    for kb in thresholds_kb:
+        qs = base.queues.__class__(
+            wq=base.queues.wq,
+            q1_ecn_bytes=base.queues.q1_ecn_bytes,
+            q1_seldrop_bytes=kb * 1000,
+            q2_ecn_bytes=base.queues.q2_ecn_bytes,
+        )
+        cfg = base.with_(scheme=SchemeName.FLEXPASS, deployment=1.0, queues=qs)
+        cell = SweepCell.from_result(run_experiment(cfg))
+        out.append((kb, cell.p99_small_ms, cell.avg_all_ms))
+    return out
+
+
+# ---------------------------------------------------------------- Figure 18
+
+
+def fig18_wq_sweep(base: ExperimentConfig,
+                   wqs: Sequence[float] = (0.4, 0.45, 0.5, 0.55, 0.6),
+                   mid_deployment: float = 0.5,
+                   ) -> List[Tuple[float, float, float]]:
+    """Figure 18: queue-weight w_q trade-off.
+
+    Returns (wq, max_legacy_p99_degradation, p99_small_at_full) per point.
+    Degradation is relative to the all-DCTCP baseline.
+    """
+    baseline = SweepCell.from_result(run_experiment(
+        base.with_(scheme=SchemeName.DCTCP, deployment=0.0)
+    ))
+    out = []
+    for wq in wqs:
+        qs = base.queues.__class__(
+            wq=wq,
+            q1_ecn_bytes=base.queues.q1_ecn_bytes,
+            q1_seldrop_bytes=base.queues.q1_seldrop_bytes,
+            q2_ecn_bytes=base.queues.q2_ecn_bytes,
+        )
+        mid = SweepCell.from_result(run_experiment(
+            base.with_(scheme=SchemeName.FLEXPASS, deployment=mid_deployment,
+                       queues=qs)
+        ))
+        full = SweepCell.from_result(run_experiment(
+            base.with_(scheme=SchemeName.FLEXPASS, deployment=1.0, queues=qs)
+        ))
+        degradation = (mid.p99_small_legacy_ms / baseline.p99_small_ms) - 1.0
+        out.append((wq, degradation, full.p99_small_ms))
+    return out
+
+
+# ----------------------------------------------------------------- Figure 5
+
+
+@dataclass
+class Fig5aResult:
+    scheme: str
+    p99_small_ms: float
+    avg_max_reorder_kb: float
+
+
+def fig05a_rc3_comparison(base: ExperimentConfig) -> List[Fig5aResult]:
+    """Figure 5(a): FlexPass vs RC3-style flow splitting — comparable tail
+    FCT, much smaller reordering buffer for FlexPass."""
+    out = []
+    for scheme in (SchemeName.FLEXPASS, SchemeName.FLEXPASS_RC3):
+        res = run_experiment(base.with_(scheme=scheme, deployment=1.0))
+        completed = [r for r in res.records if r.completed]
+        reorder = ([r.max_reorder_bytes for r in completed] or [0])
+        out.append(Fig5aResult(
+            scheme.value,
+            res.fct(small=True).p99_ms,
+            sum(reorder) / len(reorder) / 1000,
+        ))
+    return out
+
+
+def fig05b_altq_comparison(base: ExperimentConfig,
+                           deployments: Sequence[float] = DEPLOYMENTS,
+                           ) -> Dict[GridKey, SweepCell]:
+    """Figure 5(b): FlexPass vs the alternative queueing scheme (§4.3)."""
+    return deployment_sweep(
+        base, (SchemeName.FLEXPASS, SchemeName.FLEXPASS_ALTQ), deployments
+    )
+
+
+# ------------------------------------------------------ §6.2 bounded queue
+
+
+def queue_occupancy_study(base: ExperimentConfig,
+                          deployments: Sequence[float] = (0.5, 1.0),
+                          ) -> List[Tuple[float, float, float, float, float]]:
+    """The §6.2 'Bounded queue' numbers: Q1 occupancy avg/p90 (total and
+    reactive-red) at mid and full deployment."""
+    out = []
+    for dep in deployments:
+        cell = SweepCell.from_result(run_experiment(
+            base.with_(scheme=SchemeName.FLEXPASS, deployment=dep),
+            sample_q1=True,
+        ))
+        out.append((dep, cell.q1_avg_kb, cell.q1_p90_kb,
+                    cell.q1_avg_red_kb, cell.q1_p90_red_kb))
+    return out

@@ -1,0 +1,17 @@
+"""Measurement: FCT records, throughput time series, queue occupancy."""
+
+from repro.metrics.fct import FctSummary, FlowRecord, summarize
+from repro.metrics.queueing import QueueSampler
+from repro.metrics.throughput import ThroughputMonitor, starvation_fraction
+from repro.metrics.tracing import PacketTracer, TraceEvent
+
+__all__ = [
+    "FctSummary",
+    "FlowRecord",
+    "summarize",
+    "QueueSampler",
+    "ThroughputMonitor",
+    "starvation_fraction",
+    "PacketTracer",
+    "TraceEvent",
+]

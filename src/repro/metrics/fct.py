@@ -1,0 +1,118 @@
+"""Flow-completion-time records and summaries.
+
+The paper's two headline metrics (§6.2): overall *average* FCT (bandwidth
+utilization) and *99th-percentile FCT of small flows* (<100 kB — tail
+latency), broken out by traffic group (legacy vs upgraded) for the
+coexistence figures (12, 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+import numpy as np
+
+from repro.transports.base import FlowSpec, FlowStats
+
+
+@dataclass
+class FlowRecord:
+    """One completed (or censored) flow."""
+
+    flow_id: int
+    scheme: str
+    group: str      # "legacy" | "new"
+    role: str       # "bg" | "fg"
+    size_bytes: int
+    start_ns: int
+    fct_ns: int     # -1 when the flow did not finish before the horizon
+    timeouts: int = 0
+    retransmissions: int = 0
+    proactive_retransmissions: int = 0
+    credits_sent: int = 0
+    credits_wasted: int = 0
+    duplicate_bytes: int = 0
+    max_reorder_bytes: int = 0
+    proactive_bytes: int = 0
+    reactive_bytes: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.fct_ns >= 0
+
+    @classmethod
+    def from_flow(cls, spec: FlowSpec, stats: FlowStats) -> "FlowRecord":
+        return cls(
+            flow_id=spec.flow_id,
+            scheme=spec.scheme,
+            group=spec.group,
+            role=spec.role,
+            size_bytes=spec.size_bytes,
+            start_ns=stats.start_ns,
+            fct_ns=stats.fct_ns() if stats.completed else -1,
+            timeouts=stats.timeouts,
+            retransmissions=stats.retransmissions,
+            proactive_retransmissions=stats.proactive_retransmissions,
+            credits_sent=stats.credits_sent,
+            credits_wasted=stats.credits_wasted,
+            duplicate_bytes=stats.duplicate_bytes,
+            max_reorder_bytes=stats.max_reorder_bytes,
+            proactive_bytes=stats.proactive_bytes,
+            reactive_bytes=stats.reactive_bytes,
+        )
+
+
+@dataclass
+class FctSummary:
+    """Aggregate FCT statistics over a set of records."""
+
+    count: int
+    avg_ms: float
+    p50_ms: float
+    p99_ms: float
+    stddev_ms: float
+    max_ms: float
+    timeouts: int
+
+    @classmethod
+    def empty(cls) -> "FctSummary":
+        return cls(0, float("nan"), float("nan"), float("nan"),
+                   float("nan"), float("nan"), 0)
+
+
+def summarize(records: Iterable[FlowRecord],
+              small_cutoff_bytes: Optional[int] = None,
+              group: Optional[str] = None,
+              role: Optional[str] = None) -> FctSummary:
+    """Summarize completed flows matching the filters."""
+    sel: List[FlowRecord] = []
+    for r in records:
+        if not r.completed:
+            continue
+        if small_cutoff_bytes is not None and r.size_bytes >= small_cutoff_bytes:
+            continue
+        if group is not None and r.group != group:
+            continue
+        if role is not None and r.role != role:
+            continue
+        sel.append(r)
+    if not sel:
+        return FctSummary.empty()
+    fcts_ms = np.array([r.fct_ns for r in sel], dtype=float) / 1e6
+    return FctSummary(
+        count=len(sel),
+        avg_ms=float(np.mean(fcts_ms)),
+        p50_ms=float(np.percentile(fcts_ms, 50)),
+        p99_ms=float(np.percentile(fcts_ms, 99)),
+        stddev_ms=float(np.std(fcts_ms)),
+        max_ms=float(np.max(fcts_ms)),
+        timeouts=sum(r.timeouts for r in sel),
+    )
+
+
+def completion_ratio(records: Iterable[FlowRecord]) -> float:
+    records = list(records)
+    if not records:
+        return float("nan")
+    return sum(1 for r in records if r.completed) / len(records)

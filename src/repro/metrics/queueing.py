@@ -1,0 +1,55 @@
+"""Periodic queue-occupancy sampling (the §6.2 'Bounded queue' numbers)."""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.queues import PacketQueue
+    from repro.sim.engine import Simulator
+
+
+class QueueSampler:
+    """Samples one queue's total and red-byte occupancy on a fixed period."""
+
+    def __init__(self, sim: "Simulator", queue: "PacketQueue",
+                 period_ns: int = 100_000, until_ns: int = 0) -> None:
+        if period_ns <= 0:
+            raise ValueError("sampling period must be positive")
+        self.sim = sim
+        self.queue = queue
+        self.period_ns = period_ns
+        self.until_ns = until_ns
+        self.samples_bytes: List[int] = []
+        self.samples_red: List[int] = []
+        sim.after(period_ns, self._tick)
+
+    def _tick(self) -> None:
+        self.samples_bytes.append(self.queue.byte_count)
+        self.samples_red.append(self.queue.red_bytes)
+        if self.until_ns and self.sim.now >= self.until_ns:
+            return
+        self.sim.after(self.period_ns, self._tick)
+
+    # ------------------------------------------------------------ queries
+
+    def avg_kb(self) -> float:
+        return float(np.mean(self.samples_bytes)) / 1000 if self.samples_bytes else 0.0
+
+    def p90_kb(self) -> float:
+        if not self.samples_bytes:
+            return 0.0
+        return float(np.percentile(self.samples_bytes, 90)) / 1000
+
+    def max_kb(self) -> float:
+        return max(self.samples_bytes, default=0) / 1000
+
+    def avg_red_kb(self) -> float:
+        return float(np.mean(self.samples_red)) / 1000 if self.samples_red else 0.0
+
+    def p90_red_kb(self) -> float:
+        if not self.samples_red:
+            return 0.0
+        return float(np.percentile(self.samples_red, 90)) / 1000

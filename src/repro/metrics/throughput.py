@@ -1,0 +1,85 @@
+"""Binned throughput time series and starvation measurement.
+
+A :class:`ThroughputMonitor` hooks an egress port's transmit-completion
+callback and bins transmitted bytes per category (e.g., per transport or
+per sub-flow). :func:`starvation_fraction` computes the paper's starvation
+metric — the fraction of time a transport's bandwidth sits below 20% of
+link capacity (Figure 9c).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional
+
+from repro.net.packet import Packet
+from repro.net.port import EgressPort
+from repro.sim.units import SECONDS
+
+#: maps a transmitted packet to a category name (or None to ignore it)
+Classifier = Callable[[Packet], Optional[str]]
+
+
+class ThroughputMonitor:
+    """Per-category transmitted bytes in fixed time bins on one port."""
+
+    def __init__(self, port: EgressPort, classify: Classifier,
+                 bin_ns: int = 1_000_000) -> None:
+        if bin_ns <= 0:
+            raise ValueError("bin size must be positive")
+        self.port = port
+        self.classify = classify
+        self.bin_ns = bin_ns
+        self.bins: Dict[str, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        port.monitors.append(self._on_tx)
+
+    def _on_tx(self, now_ns: int, pkt: Packet) -> None:
+        category = self.classify(pkt)
+        if category is None:
+            return
+        self.bins[category][now_ns // self.bin_ns] += pkt.size
+
+    # ------------------------------------------------------------ queries
+
+    def categories(self) -> List[str]:
+        return sorted(self.bins)
+
+    def total_bytes(self, category: str) -> int:
+        return sum(self.bins[category].values())
+
+    def series_gbps(self, category: str, until_ns: int) -> List[float]:
+        """Throughput per bin in Gbit/s from t=0 to ``until_ns``."""
+        n_bins = max(1, until_ns // self.bin_ns)
+        out = []
+        bins = self.bins.get(category, {})
+        for b in range(n_bins):
+            bits = bins.get(b, 0) * 8
+            out.append(bits / self.bin_ns)  # bits per ns == Gbit/s
+        return out
+
+    def utilization(self, until_ns: int) -> float:
+        """All-category bytes transmitted over capacity."""
+        total_bits = 8 * sum(self.total_bytes(c) for c in self.bins)
+        capacity_bits = self.port.rate_bps * until_ns / SECONDS
+        return total_bits / capacity_bits if capacity_bits > 0 else 0.0
+
+
+def starvation_fraction(series_gbps: List[float], capacity_gbps: float,
+                        threshold: float = 0.2,
+                        active_only: bool = True) -> float:
+    """Fraction of bins where throughput < ``threshold`` * capacity.
+
+    With ``active_only`` the window is clipped to [first, last] nonzero bin,
+    so a flow that finished early is not counted as starved afterwards.
+    """
+    if not series_gbps:
+        return 0.0
+    lo, hi = 0, len(series_gbps)
+    if active_only:
+        nonzero = [i for i, v in enumerate(series_gbps) if v > 0]
+        if not nonzero:
+            return 1.0
+        lo, hi = nonzero[0], nonzero[-1] + 1
+    window = series_gbps[lo:hi]
+    floor = threshold * capacity_gbps
+    return sum(1 for v in window if v < floor) / len(window)

@@ -1,0 +1,95 @@
+"""Packet tracing: per-flow event timelines for debugging and analysis.
+
+A :class:`PacketTracer` taps egress-port transmit completions across a set
+of nodes and records (time, port, kind, sub-flow, seq) tuples for chosen
+flows — the moral equivalent of ns-2's trace files, scoped to keep memory
+bounded. Useful for post-mortems ("where did segment 17's retransmission
+travel?") and for the timeline assertions in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set, TYPE_CHECKING
+
+from repro.net.packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+@dataclass
+class TraceEvent:
+    time_ns: int
+    port: str
+    kind: str
+    flow_id: int
+    subflow: int
+    seq: int
+    flow_seq: int
+    size: int
+    ce: bool
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        mark = " CE" if self.ce else ""
+        return (f"{self.time_ns / 1e6:10.4f}ms {self.port:<18} "
+                f"{self.kind:<14} flow={self.flow_id} sub={self.subflow} "
+                f"seq={self.seq} fseq={self.flow_seq}{mark}")
+
+
+class PacketTracer:
+    """Records every transmit completion of the watched flows."""
+
+    def __init__(self, nodes: Iterable["Node"],
+                 flow_ids: Optional[Iterable[int]] = None,
+                 max_events: int = 1_000_000) -> None:
+        self.flow_ids: Optional[Set[int]] = (
+            set(flow_ids) if flow_ids is not None else None
+        )
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.overflowed = False
+        for node in nodes:
+            for port in node.ports.values():
+                port.monitors.append(self._make_hook(port.name))
+
+    def _make_hook(self, port_name: str):
+        def hook(now_ns: int, pkt: Packet) -> None:
+            if self.flow_ids is not None and pkt.flow_id not in self.flow_ids:
+                return
+            if len(self.events) >= self.max_events:
+                self.overflowed = True
+                return
+            self.events.append(TraceEvent(
+                now_ns, port_name, PacketKind(pkt.kind).name,
+                pkt.flow_id, pkt.subflow, pkt.seq, pkt.flow_seq,
+                pkt.size, pkt.ce,
+            ))
+
+        return hook
+
+    # ------------------------------------------------------------ queries
+
+    def for_flow(self, flow_id: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.flow_id == flow_id]
+
+    def of_kind(self, kind: PacketKind) -> List[TraceEvent]:
+        name = kind.name
+        return [e for e in self.events if e.kind == name]
+
+    def path_of(self, flow_id: int, flow_seq: int,
+                subflow: Optional[int] = None) -> List[str]:
+        """Ordered ports a given data segment traversed."""
+        return [
+            e.port
+            for e in self.events
+            if e.flow_id == flow_id and e.flow_seq == flow_seq
+            and e.kind == "DATA"
+            and (subflow is None or e.subflow == subflow)
+        ]
+
+    def dump(self, limit: int = 50) -> str:
+        lines = [str(e) for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Network substrate: packets, queues, ports, switches, hosts, topologies.
+
+This package is the stand-in for ns-2 in the original artifact. It models a
+datacenter fabric at packet granularity: every data packet, ACK, and credit is
+an object that traverses store-and-forward switch egress ports with
+multi-queue scheduling (strict priority + DWRR), RED/ECN marking, color-aware
+selective dropping, shared-buffer dynamic thresholds, and token-bucket credit
+rate limiting — the switch feature set §4.1 and §5 of the paper require.
+"""
+
+from repro.net.packet import (
+    ACK_WIRE_BYTES,
+    CREDIT_WIRE_BYTES,
+    DATA_HEADER_BYTES,
+    MSS,
+    Color,
+    Dscp,
+    Packet,
+    PacketKind,
+)
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.port import EgressPort
+from repro.net.queues import PacketQueue, QueueConfig
+from repro.net.scheduler import PortScheduler, QueueSchedule
+from repro.net.switch import Switch
+from repro.net.topology import Topology, build_clos, build_dumbbell, build_star
+
+__all__ = [
+    "ACK_WIRE_BYTES",
+    "CREDIT_WIRE_BYTES",
+    "DATA_HEADER_BYTES",
+    "MSS",
+    "Color",
+    "Dscp",
+    "Packet",
+    "PacketKind",
+    "Host",
+    "Link",
+    "EgressPort",
+    "PacketQueue",
+    "QueueConfig",
+    "PortScheduler",
+    "QueueSchedule",
+    "Switch",
+    "Topology",
+    "build_clos",
+    "build_dumbbell",
+    "build_star",
+]

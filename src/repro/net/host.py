@@ -1,0 +1,90 @@
+"""End host: a NIC egress port plus per-flow transport endpoint demux.
+
+The paper treats the NIC as "a special type of edge switch" (§4.3 footnote):
+the FlexPass queue configuration (credit queue pacing, DWRR, selective
+dropping) applies to the host uplink as well, which the topology builders
+honor by constructing host NIC ports with the same queue stack as switch
+ports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, TYPE_CHECKING
+
+from repro.net.node import Node
+from repro.net.packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.port import EgressPort
+    from repro.sim.engine import Simulator
+
+
+class Endpoint(Protocol):
+    """Anything that can consume packets addressed to a flow endpoint."""
+
+    def on_packet(self, pkt: Packet) -> None: ...
+
+
+#: Packet kinds that are feedback to the *sender* side of a flow.
+_TO_SENDER = frozenset(
+    {PacketKind.ACK, PacketKind.CREDIT, PacketKind.GRANT}
+)
+#: Packet kinds consumed by the *receiver* side of a flow.
+_TO_RECEIVER = frozenset(
+    {PacketKind.DATA, PacketKind.CREDIT_REQUEST, PacketKind.CREDIT_STOP}
+)
+
+
+class Host(Node):
+    """A server with one uplink."""
+
+    def __init__(self, sim: "Simulator", node_id: int, name: str) -> None:
+        super().__init__(sim, node_id, name)
+        self._senders: Dict[int, Endpoint] = {}
+        self._receivers: Dict[int, Endpoint] = {}
+        self.stray_packets = 0
+
+    # -------------------------------------------------------------- wiring
+
+    @property
+    def nic_port(self) -> "EgressPort":
+        """The single uplink port."""
+        if len(self.ports) != 1:
+            raise RuntimeError(f"host {self.name} has {len(self.ports)} ports")
+        return next(iter(self.ports.values()))
+
+    def register_sender(self, flow_id: int, endpoint: Endpoint) -> None:
+        if flow_id in self._senders:
+            raise ValueError(f"flow {flow_id} already has a sender at {self.name}")
+        self._senders[flow_id] = endpoint
+
+    def register_receiver(self, flow_id: int, endpoint: Endpoint) -> None:
+        if flow_id in self._receivers:
+            raise ValueError(f"flow {flow_id} already has a receiver at {self.name}")
+        self._receivers[flow_id] = endpoint
+
+    def unregister_sender(self, flow_id: int) -> None:
+        self._senders.pop(flow_id, None)
+
+    def unregister_receiver(self, flow_id: int) -> None:
+        self._receivers.pop(flow_id, None)
+
+    # ---------------------------------------------------------------- I/O
+
+    def send(self, pkt: Packet) -> bool:
+        """Hand a packet to the NIC. Returns False if the NIC dropped it."""
+        return self.nic_port.enqueue(pkt)
+
+    def receive(self, pkt: Packet) -> None:
+        if pkt.kind in _TO_SENDER:
+            endpoint = self._senders.get(pkt.flow_id)
+        elif pkt.kind in _TO_RECEIVER:
+            endpoint = self._receivers.get(pkt.flow_id)
+        else:  # pragma: no cover - enum is exhaustive today
+            endpoint = None
+        if endpoint is None:
+            # Late feedback for a finished flow (e.g., wasted credits still in
+            # flight when the sender deregistered). Expected; just count it.
+            self.stray_packets += 1
+            return
+        endpoint.on_packet(pkt)

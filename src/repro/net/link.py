@@ -1,0 +1,31 @@
+"""Point-to-point link: fixed propagation delay toward a destination node."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+    from repro.net.packet import Packet
+    from repro.sim.engine import Simulator
+
+
+class Link:
+    """One direction of a cable: delivers packets to ``dst`` after ``delay``."""
+
+    __slots__ = ("sim", "dst", "delay_ns", "packets_delivered", "bytes_delivered")
+
+    def __init__(self, sim: "Simulator", dst: "Node", delay_ns: int) -> None:
+        if delay_ns < 0:
+            raise ValueError("propagation delay must be nonnegative")
+        self.sim = sim
+        self.dst = dst
+        self.delay_ns = delay_ns
+        self.packets_delivered = 0
+        self.bytes_delivered = 0
+
+    def carry(self, pkt: "Packet") -> None:
+        """Propagate a fully-serialized packet to the far end."""
+        self.packets_delivered += 1
+        self.bytes_delivered += pkt.size
+        self.sim.after(self.delay_ns, self.dst.receive, pkt)

@@ -1,0 +1,154 @@
+"""Packet model.
+
+One concrete :class:`Packet` class serves every protocol in the repo. The
+alternative — a class per packet type — buys little type safety in a
+simulator and costs allocation time on the hottest path. Transports interpret
+the generic fields (``seq``, ``ack``, ``sack`` …) in their own sequence
+spaces.
+
+Wire sizes follow the paper's implementation section: a FlexPass data packet
+carries Ethernet + IP + UDP + an 18-byte FlexPass header (84 bytes of
+overhead including inter-frame gap), and credits/ACKs are minimum-size
+84-byte frames, matching ExpressPass's credit sizing.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+#: Maximum segment size — application payload bytes per data packet.
+MSS = 1500
+
+#: Per-packet wire overhead for data packets (Ethernet + preamble/IFG + IP +
+#: UDP + FlexPass header), and full wire size of minimum-size frames.
+DATA_HEADER_BYTES = 84
+CREDIT_WIRE_BYTES = 84
+ACK_WIRE_BYTES = 84
+
+
+class PacketKind(enum.IntEnum):
+    """What role a packet plays in its protocol."""
+
+    DATA = 0
+    ACK = 1
+    CREDIT = 2
+    CREDIT_REQUEST = 3
+    CREDIT_STOP = 4
+    GRANT = 5  # Homa scheduled-data grant
+
+
+class Dscp(enum.IntEnum):
+    """Traffic classes (DSCP code points) used to map packets to queues.
+
+    The paper uses five DSCP values (§5): proactive data, reactive data,
+    credit, FlexPass control, and legacy. Homa's eight priority levels get
+    their own range for the Figure 1(b) motivation experiment.
+    """
+
+    CREDIT = 0
+    PROACTIVE_DATA = 1
+    REACTIVE_DATA = 2
+    FLEX_CONTROL = 3
+    LEGACY = 4
+    HOMA_BASE = 8  # HOMA_BASE + p for priority level p in [0, 7]
+
+
+class Color(enum.IntEnum):
+    """Packet color for color-aware (selective) dropping, §4.1/§5.
+
+    GREEN packets are only dropped when the whole queue exceeds its limit;
+    RED packets are dropped as soon as the queue's red-byte occupancy crosses
+    the selective-dropping threshold.
+    """
+
+    GREEN = 0
+    RED = 1
+
+
+class Packet:
+    """A packet in flight.
+
+    Attributes double as protocol header fields; which ones are meaningful
+    depends on ``kind`` and the owning transport:
+
+    * ``seq``     — per-sub-flow sequence number (segment units) of DATA, or
+      the sequence of the credit for CREDIT packets.
+    * ``flow_seq``— per-flow sequence number used for reassembly (FlexPass
+      carries both, like MPTCP; plain transports set it equal to ``seq``).
+    * ``ack``     — cumulative ACK (next expected seq) on ACK packets.
+    * ``sack``    — tuple of selectively-acked seqs above ``ack``.
+    * ``subflow`` — 0 = proactive, 1 = reactive (FlexPass), else 0.
+    * ``meta``    — small protocol-specific payload (e.g., flow size on a
+      credit request, credit sequence echo on data).
+    """
+
+    __slots__ = (
+        "kind",
+        "flow_id",
+        "src",
+        "dst",
+        "size",
+        "payload",
+        "dscp",
+        "color",
+        "ecn_capable",
+        "ce",
+        "seq",
+        "flow_seq",
+        "ack",
+        "sack",
+        "subflow",
+        "sent_at",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        kind: PacketKind,
+        flow_id: int,
+        src: int,
+        dst: int,
+        size: int,
+        *,
+        payload: int = 0,
+        dscp: int = Dscp.LEGACY,
+        color: int = Color.GREEN,
+        ecn_capable: bool = False,
+        seq: int = -1,
+        flow_seq: int = -1,
+        ack: int = -1,
+        sack: Tuple[int, ...] = (),
+        subflow: int = 0,
+        sent_at: int = -1,
+        meta: Optional[int] = None,
+    ) -> None:
+        self.kind = kind
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size = size  # wire bytes, headers included
+        self.payload = payload  # application bytes carried
+        self.dscp = dscp
+        self.color = color
+        self.ecn_capable = ecn_capable
+        self.ce = False  # congestion-experienced mark, set by switches
+        self.seq = seq
+        self.flow_seq = flow_seq
+        self.ack = ack
+        self.sack = sack
+        self.subflow = subflow
+        self.sent_at = sent_at
+        self.meta = meta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet {self.kind.name} flow={self.flow_id} {self.src}->{self.dst} "
+            f"seq={self.seq} fseq={self.flow_seq} size={self.size}B"
+            f"{' CE' if self.ce else ''}>"
+        )
+
+
+def data_wire_size(payload_bytes: int) -> int:
+    """Wire size of a data packet carrying ``payload_bytes``."""
+    return payload_bytes + DATA_HEADER_BYTES

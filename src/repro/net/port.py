@@ -1,0 +1,113 @@
+"""Store-and-forward egress port.
+
+The port is where the paper's switch mechanics compose: an arriving packet is
+classified by DSCP into one of the port's queues, passes per-queue admission
+(selective dropping, static caps), then shared-buffer admission (dynamic
+threshold), and finally waits for the two-level scheduler to pick it. The
+port serializes exactly one packet at a time onto its link.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.scheduler import PortScheduler, QueueSchedule
+from repro.sim.units import tx_time_ns
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import EventHandle, Simulator
+
+#: Called with (now_ns, packet) when a packet finishes serializing.
+TxMonitor = Callable[[int, Packet], None]
+
+
+class EgressPort:
+    """An output port: classifier + queues + scheduler + serializer."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        rate_bps: int,
+        buffer,  # SharedBuffer or UnlimitedBuffer
+        schedules: List[QueueSchedule],
+        classifier: Dict[int, int],
+        link: Link,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("port rate must be positive")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.buffer = buffer
+        self.scheduler = PortScheduler(schedules)
+        self.classifier = classifier
+        self.link = link
+        self.busy = False
+        self.monitors: List[TxMonitor] = []
+        self.dropped_unclassified = 0
+        self._wake_handle: Optional["EventHandle"] = None
+
+    # ------------------------------------------------------------------ RX
+
+    def enqueue(self, pkt: Packet) -> bool:
+        """Admit a packet into this port. Returns False if dropped."""
+        qidx = self.classifier.get(pkt.dscp)
+        if qidx is None:
+            # A packet whose class has no queue is a wiring bug in the
+            # scenario; dropping silently would mask it.
+            raise KeyError(
+                f"port {self.name}: no queue configured for DSCP {pkt.dscp}"
+            )
+        queue = self.scheduler.queue(qidx)
+        if not queue.admit(pkt):
+            return False
+        if not self.buffer.try_admit(queue.byte_count, pkt.size):
+            queue.count_buffer_drop()
+            return False
+        queue.push(pkt)
+        if not self.busy:
+            self._kick()
+        return True
+
+    # ------------------------------------------------------------------ TX
+
+    def _kick(self) -> None:
+        """(Re)start the transmit loop if the wire is idle."""
+        if self._wake_handle is not None:
+            self._wake_handle.cancel()
+            self._wake_handle = None
+        self._try_transmit()
+
+    def _try_transmit(self) -> None:
+        if self.busy:
+            return
+        pkt, wake = self.scheduler.next(self.sim.now)
+        if pkt is not None:
+            self.busy = True
+            self.sim.after(tx_time_ns(pkt.size, self.rate_bps), self._tx_done, pkt)
+        elif wake is not None:
+            self._wake_handle = self.sim.at(max(wake, self.sim.now), self._on_wake)
+
+    def _on_wake(self) -> None:
+        self._wake_handle = None
+        self._try_transmit()
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.buffer.release(pkt.size)
+        self.busy = False
+        now = self.sim.now
+        for monitor in self.monitors:
+            monitor(now, pkt)
+        self.link.carry(pkt)
+        self._try_transmit()
+
+    # ------------------------------------------------------------- helpers
+
+    def backlog_bytes(self) -> int:
+        return self.scheduler.total_backlog()
+
+    def queue(self, idx: int):
+        return self.scheduler.queue(idx)

@@ -1,0 +1,142 @@
+"""Per-queue admission, marking, and accounting.
+
+A :class:`PacketQueue` implements the paper's per-queue switch features:
+
+* **RED/ECN marking** — instantaneous-queue-length marking as DCTCP
+  configures it (mark when occupancy exceeds K), with an optional RED ramp.
+* **Selective (color-aware) dropping** — RED-colored packets are dropped
+  once the queue's red-byte occupancy crosses a threshold, while GREEN
+  packets survive until the whole queue hits its cap (§4.1, §5).
+* **Static byte cap** — e.g., the <1 kB credit-queue buffer ExpressPass
+  requires.
+
+Shared-buffer dynamic thresholds live one level up (:mod:`repro.net.buffering`)
+because they need switch-wide state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.net.packet import Color, Packet
+
+
+@dataclass
+class QueueConfig:
+    """Configuration of one egress queue."""
+
+    name: str = "q"
+    #: Static byte cap; ``None`` means only the shared buffer limits growth.
+    capacity_bytes: Optional[int] = None
+    #: ECN marking threshold in bytes (DCTCP K). ``None`` disables marking.
+    ecn_threshold_bytes: Optional[int] = None
+    #: If set, RED-style probabilistic marking ramps from ``ecn_threshold``
+    #: to ``red_max_bytes``; otherwise marking is a hard threshold.
+    red_max_bytes: Optional[int] = None
+    #: Selective-dropping threshold for RED-colored bytes. ``None`` disables.
+    selective_drop_bytes: Optional[int] = None
+
+
+@dataclass
+class QueueStats:
+    """Drop/mark counters, exposed to experiments."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped_cap: int = 0
+    dropped_selective: int = 0
+    dropped_buffer: int = 0
+    ecn_marked: int = 0
+    bytes_enqueued: int = 0
+    max_bytes: int = 0
+    max_red_bytes: int = 0
+
+
+class PacketQueue:
+    """A FIFO byte queue with ECN marking and selective dropping."""
+
+    __slots__ = ("config", "stats", "_fifo", "byte_count", "red_bytes", "_mark_rng")
+
+    def __init__(self, config: QueueConfig, mark_rng=None) -> None:
+        self.config = config
+        self.stats = QueueStats()
+        self._fifo: Deque[Packet] = deque()
+        self.byte_count = 0
+        self.red_bytes = 0
+        self._mark_rng = mark_rng  # only needed when red_max_bytes is set
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def empty(self) -> bool:
+        return not self._fifo
+
+    def head(self) -> Optional[Packet]:
+        return self._fifo[0] if self._fifo else None
+
+    def admit(self, pkt: Packet) -> bool:
+        """Run this queue's own admission checks (not the shared buffer).
+
+        Returns False (and counts the drop) if the packet must be discarded.
+        """
+        cfg = self.config
+        if cfg.selective_drop_bytes is not None and pkt.color == Color.RED:
+            if self.red_bytes + pkt.size > cfg.selective_drop_bytes:
+                self.stats.dropped_selective += 1
+                return False
+        if cfg.capacity_bytes is not None:
+            if self.byte_count + pkt.size > cfg.capacity_bytes:
+                self.stats.dropped_cap += 1
+                return False
+        return True
+
+    def push(self, pkt: Packet) -> None:
+        """Enqueue an admitted packet, applying ECN marking."""
+        self._maybe_mark(pkt)
+        self._fifo.append(pkt)
+        self.byte_count += pkt.size
+        if pkt.color == Color.RED:
+            self.red_bytes += pkt.size
+        st = self.stats
+        st.enqueued += 1
+        st.bytes_enqueued += pkt.size
+        if self.byte_count > st.max_bytes:
+            st.max_bytes = self.byte_count
+        if self.red_bytes > st.max_red_bytes:
+            st.max_red_bytes = self.red_bytes
+
+    def pop(self) -> Packet:
+        """Dequeue the head packet."""
+        pkt = self._fifo.popleft()
+        self.byte_count -= pkt.size
+        if pkt.color == Color.RED:
+            self.red_bytes -= pkt.size
+        self.stats.dequeued += 1
+        return pkt
+
+    def count_buffer_drop(self) -> None:
+        """Record a drop decided by the shared-buffer manager."""
+        self.stats.dropped_buffer += 1
+
+    def _maybe_mark(self, pkt: Packet) -> None:
+        cfg = self.config
+        if cfg.ecn_threshold_bytes is None or not pkt.ecn_capable:
+            return
+        occupancy = self.byte_count  # queue length seen on arrival
+        if cfg.red_max_bytes is not None and cfg.red_max_bytes > cfg.ecn_threshold_bytes:
+            # RED ramp: linear marking probability between min and max.
+            if occupancy <= cfg.ecn_threshold_bytes:
+                return
+            if occupancy < cfg.red_max_bytes:
+                span = cfg.red_max_bytes - cfg.ecn_threshold_bytes
+                prob = (occupancy - cfg.ecn_threshold_bytes) / span
+                if self._mark_rng is None or self._mark_rng.random() >= prob:
+                    return
+            # above red_max: always mark
+        elif occupancy < cfg.ecn_threshold_bytes:
+            return
+        pkt.ce = True
+        self.stats.ecn_marked += 1

@@ -1,0 +1,60 @@
+"""Token-bucket rate limiter for credit-queue pacing.
+
+ExpressPass (and hence FlexPass) rate-limits the credit queue so that the
+data packets the credits trigger consume at most the reserved fraction of
+the link (§4.1). The limiter is a standard token bucket: tokens accrue at
+``rate_bps`` up to ``bucket_bytes``; a packet may depart once the bucket
+holds its full size.
+"""
+
+from __future__ import annotations
+
+from repro.sim.units import SECONDS
+
+
+class TokenBucket:
+    """Byte-granularity token bucket over the integer-ns clock."""
+
+    __slots__ = ("rate_bps", "bucket_bytes", "_tokens", "_last_ns")
+
+    def __init__(self, rate_bps: int, bucket_bytes: int) -> None:
+        if rate_bps <= 0:
+            raise ValueError("token bucket rate must be positive")
+        if bucket_bytes <= 0:
+            raise ValueError("token bucket depth must be positive")
+        self.rate_bps = rate_bps
+        self.bucket_bytes = bucket_bytes
+        self._tokens = float(bucket_bytes)
+        self._last_ns = 0
+
+    def _refill(self, now_ns: int) -> None:
+        if now_ns > self._last_ns:
+            self._tokens = min(
+                self.bucket_bytes,
+                self._tokens + (now_ns - self._last_ns) * self.rate_bps / (8.0 * SECONDS),
+            )
+            self._last_ns = now_ns
+
+    def tokens(self, now_ns: int) -> float:
+        """Tokens (bytes) available at ``now_ns``."""
+        self._refill(now_ns)
+        return self._tokens
+
+    def can_send(self, now_ns: int, nbytes: int) -> bool:
+        return self.tokens(now_ns) >= nbytes
+
+    def consume(self, now_ns: int, nbytes: int) -> None:
+        """Spend tokens for a departing packet. Caller must check first."""
+        self._refill(now_ns)
+        if self._tokens < nbytes:
+            raise RuntimeError("token bucket overdrawn; call can_send first")
+        self._tokens -= nbytes
+
+    def eligible_at(self, now_ns: int, nbytes: int) -> int:
+        """Earliest time at which ``nbytes`` tokens will be available."""
+        self._refill(now_ns)
+        deficit = nbytes - self._tokens
+        if deficit <= 0:
+            return now_ns
+        wait_ns = int(deficit * 8.0 * SECONDS / self.rate_bps) + 1
+        return now_ns + wait_ns

@@ -1,0 +1,163 @@
+"""Two-level egress scheduling: strict priority across classes, DWRR within.
+
+This matches the paper's switch configuration (§4.1): the credit queue (Q0)
+gets strict high priority plus a token-bucket rate limit; the FlexPass data
+queue (Q1) and the legacy queue (Q2) share the residual bandwidth via
+Deficit Weighted Round Robin [42].
+
+The scheduler is pull-based: the egress port calls :meth:`PortScheduler.next`
+whenever the wire goes idle. The call returns either a packet, or the
+earliest future time at which one *could* become eligible (a paced queue
+waiting for tokens), or neither (everything empty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.net.packet import MSS, DATA_HEADER_BYTES, Packet
+from repro.net.queues import PacketQueue
+from repro.net.ratelimit import TokenBucket
+
+#: DWRR quantum granted per round at weight 1.0 — one full-size data packet,
+#: so weighted shares converge within a few rounds.
+_BASE_QUANTUM = MSS + DATA_HEADER_BYTES
+
+
+@dataclass
+class QueueSchedule:
+    """How one queue participates in scheduling."""
+
+    queue: PacketQueue
+    #: Lower number = served first. Queues with equal priority form a DWRR set.
+    priority: int = 1
+    #: Relative DWRR weight within the priority class.
+    weight: float = 1.0
+    #: Optional pacer (the ExpressPass credit-queue rate limiter).
+    pacer: Optional[TokenBucket] = None
+
+
+class _DwrrState:
+    __slots__ = ("deficit",)
+
+    def __init__(self) -> None:
+        self.deficit = 0.0
+
+
+class PortScheduler:
+    """Strict-priority + DWRR scheduler over a fixed set of queues."""
+
+    def __init__(self, schedules: List[QueueSchedule]) -> None:
+        if not schedules:
+            raise ValueError("a port needs at least one queue")
+        self._schedules = schedules
+        # Group queue indices by priority, best priority first.
+        prios = sorted({s.priority for s in schedules})
+        self._classes: List[List[int]] = [
+            [i for i, s in enumerate(schedules) if s.priority == p] for p in prios
+        ]
+        self._dwrr = [_DwrrState() for _ in schedules]
+        self._rr_pos = {p: 0 for p in range(len(self._classes))}
+
+    @property
+    def queues(self) -> List[PacketQueue]:
+        return [s.queue for s in self._schedules]
+
+    def queue(self, idx: int) -> PacketQueue:
+        return self._schedules[idx].queue
+
+    def total_backlog(self) -> int:
+        return sum(s.queue.byte_count for s in self._schedules)
+
+    def next(self, now_ns: int) -> Tuple[Optional[Packet], Optional[int]]:
+        """Pick the next packet to transmit.
+
+        Returns ``(packet, None)`` when a packet is ready, ``(None, t)`` when
+        the only backlogged queues are paced and become eligible at ``t``,
+        and ``(None, None)`` when all queues are empty.
+        """
+        wake: Optional[int] = None
+        for class_idx, members in enumerate(self._classes):
+            backlogged = [i for i in members if not self._schedules[i].queue.empty]
+            if not backlogged:
+                continue
+            pkt, class_wake = self._serve_class(class_idx, members, now_ns)
+            if pkt is not None:
+                return pkt, None
+            if class_wake is not None and (wake is None or class_wake < wake):
+                wake = class_wake
+            # A higher-priority class that is backlogged-but-paced does NOT
+            # block lower classes: the port stays work-conserving (§4.1 —
+            # data may use the wire while credits wait for tokens).
+        return None, wake
+
+    def _serve_class(
+        self, class_idx: int, members: List[int], now_ns: int
+    ) -> Tuple[Optional[Packet], Optional[int]]:
+        if len(members) == 1:
+            return self._serve_single(members[0], now_ns)
+        return self._serve_dwrr(class_idx, members, now_ns)
+
+    def _serve_single(
+        self, idx: int, now_ns: int
+    ) -> Tuple[Optional[Packet], Optional[int]]:
+        sched = self._schedules[idx]
+        q = sched.queue
+        if q.empty:
+            return None, None
+        head = q.head()
+        assert head is not None
+        if sched.pacer is not None:
+            if not sched.pacer.can_send(now_ns, head.size):
+                return None, sched.pacer.eligible_at(now_ns, head.size)
+            sched.pacer.consume(now_ns, head.size)
+        return q.pop(), None
+
+    def _serve_dwrr(
+        self, class_idx: int, members: List[int], now_ns: int
+    ) -> Tuple[Optional[Packet], Optional[int]]:
+        """One-packet-at-a-time Deficit Round Robin.
+
+        Empty queues forfeit their deficit (classic DRR), so an idle
+        transport cannot bank credit and later burst past its weight.
+        """
+        pos = self._rr_pos[class_idx]
+        n = len(members)
+        wake: Optional[int] = None
+        # Each pass over the backlogged set adds one quantum; with at least
+        # one backlogged unpaced queue this terminates in O(max_pkt/quantum)
+        # passes. Paced queues can postpone service, hence the wake fallback.
+        for _ in range(n * 64):
+            idx = members[pos % n]
+            sched = self._schedules[idx]
+            q = sched.queue
+            state = self._dwrr[idx]
+            if q.empty:
+                state.deficit = 0.0
+                pos += 1
+                continue
+            head = q.head()
+            assert head is not None
+            if state.deficit >= head.size:
+                if sched.pacer is not None:
+                    if not sched.pacer.can_send(now_ns, head.size):
+                        t = sched.pacer.eligible_at(now_ns, head.size)
+                        if wake is None or t < wake:
+                            wake = t
+                        pos += 1
+                        continue
+                    sched.pacer.consume(now_ns, head.size)
+                state.deficit -= head.size
+                pkt = q.pop()
+                if q.empty:
+                    state.deficit = 0.0
+                    pos += 1
+                self._rr_pos[class_idx] = pos % n
+                return pkt, None
+            state.deficit += _BASE_QUANTUM * sched.weight
+            pos += 1
+        # Only reachable when every backlogged queue in the class is paced
+        # and short of tokens.
+        self._rr_pos[class_idx] = pos % n
+        return None, wake

@@ -1,0 +1,45 @@
+"""Switch: routes packets to egress ports via ECMP over shortest paths."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, TYPE_CHECKING
+
+from repro.net.node import Node
+from repro.net.routing import ecmp_index
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.buffering import SharedBuffer
+    from repro.net.packet import Packet
+    from repro.sim.engine import Simulator
+
+
+class Switch(Node):
+    """A shared-buffer switch.
+
+    Routing state (``next_hops``) is installed by the topology after all
+    links exist. All egress ports of the switch draw from one shared buffer,
+    which is what makes the dynamic-threshold scheme meaningful.
+    """
+
+    def __init__(
+        self, sim: "Simulator", node_id: int, name: str, buffer: "SharedBuffer"
+    ) -> None:
+        super().__init__(sim, node_id, name)
+        self.buffer = buffer
+        #: destination host id -> sorted tuple of next-hop peer node ids
+        self.next_hops: Dict[int, Tuple[int, ...]] = {}
+        #: fabric tier (ToR=1, agg=2, core=3): decorrelates ECMP decisions
+        #: across tiers while keeping forward/reverse paths mirrored.
+        self.ecmp_salt = 0
+        self.routing_failures = 0
+
+    def receive(self, pkt: "Packet") -> None:
+        hops = self.next_hops.get(pkt.dst)
+        if not hops:
+            # Indicates broken topology wiring; make it loud in stats but do
+            # not crash a long sweep for one stray packet.
+            self.routing_failures += 1
+            return
+        peer = hops[ecmp_index(pkt.flow_id, pkt.src, pkt.dst, len(hops),
+                               self.ecmp_salt)]
+        self.ports[peer].enqueue(pkt)

@@ -1,0 +1,317 @@
+"""Topology construction: dumbbell, star (incast / two-to-one), 3-tier Clos.
+
+A :class:`Topology` owns the nodes and wiring. Queue configuration is
+scheme-specific (FlexPass needs three queues, the naïve scheme one data
+queue, Homa eight priorities, …), so builders take a ``make_queues`` factory
+provided by :mod:`repro.experiments.scenarios` and apply it uniformly to
+every port — host NICs included, per the paper's "the NIC is a special type
+of edge switch" deployment note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.buffering import SharedBuffer, UnlimitedBuffer
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.port import EgressPort
+from repro.net.routing import compute_next_hops
+from repro.net.scheduler import QueueSchedule
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MB, MICROS
+
+#: ``make_queues(port_name, rate_bps, is_host_nic) -> (schedules, classifier)``
+QueueFactory = Callable[[str, int, bool], Tuple[List[QueueSchedule], Dict[int, int]]]
+
+
+class Topology:
+    """A wired network: nodes, links, routing."""
+
+    def __init__(self, sim: Simulator, make_queues: QueueFactory) -> None:
+        self.sim = sim
+        self.make_queues = make_queues
+        self.hosts: List[Host] = []
+        self.switches: List[Switch] = []
+        self.nodes: Dict[int, Node] = {}
+        self._adjacency: Dict[int, List[int]] = {}
+        self._next_id = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------ building
+
+    def add_host(self, name: str) -> Host:
+        host = Host(self.sim, self._alloc_id(), name)
+        self.hosts.append(host)
+        self._register(host)
+        return host
+
+    def add_switch(
+        self, name: str, buffer_bytes: int = 4_500_000, buffer_alpha: float = 0.25
+    ) -> Switch:
+        switch = Switch(
+            self.sim, self._alloc_id(), name, SharedBuffer(buffer_bytes, buffer_alpha)
+        )
+        self.switches.append(switch)
+        self._register(switch)
+        return switch
+
+    def connect(self, a: Node, b: Node, rate_bps: int, delay_ns: int) -> None:
+        """Create a full-duplex link between ``a`` and ``b``."""
+        self._attach_directed(a, b, rate_bps, delay_ns)
+        self._attach_directed(b, a, rate_bps, delay_ns)
+        self._adjacency[a.id].append(b.id)
+        self._adjacency[b.id].append(a.id)
+
+    def finalize(self) -> None:
+        """Compute routes. Call after all links are in place."""
+        host_ids = [h.id for h in self.hosts]
+        next_hops = compute_next_hops(self._adjacency, host_ids)
+        for switch in self.switches:
+            switch.next_hops = next_hops[switch.id]
+        self._finalized = True
+
+    # ------------------------------------------------------------- lookups
+
+    def port(self, src: Node, dst: Node) -> EgressPort:
+        """The egress port on ``src`` facing ``dst``."""
+        return src.ports[dst.id]
+
+    def all_ports(self) -> List[EgressPort]:
+        return [p for node in self.nodes.values() for p in node.ports.values()]
+
+    def host_pairs(self) -> List[Tuple[Host, Host]]:
+        """All ordered pairs of distinct hosts (for traffic generation)."""
+        return [(a, b) for a in self.hosts for b in self.hosts if a.id != b.id]
+
+    # ------------------------------------------------------------ internals
+
+    def _alloc_id(self) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    def _register(self, node: Node) -> None:
+        if self._finalized:
+            raise RuntimeError("cannot add nodes after finalize()")
+        self.nodes[node.id] = node
+        self._adjacency[node.id] = []
+
+    def _attach_directed(self, src: Node, dst: Node, rate_bps: int, delay_ns: int) -> None:
+        name = f"{src.name}->{dst.name}"
+        is_host_nic = isinstance(src, Host)
+        schedules, classifier = self.make_queues(name, rate_bps, is_host_nic)
+        buffer = src.buffer if isinstance(src, Switch) else UnlimitedBuffer()
+        link = Link(self.sim, dst, delay_ns)
+        port = EgressPort(self.sim, name, rate_bps, buffer, schedules, classifier, link)
+        src.attach_port(dst.id, port)
+
+
+# --------------------------------------------------------------- builders
+
+
+@dataclass
+class DumbbellSpec:
+    """N senders and N receivers joined by one bottleneck link."""
+
+    n_pairs: int = 1
+    rate_bps: int = 10 * GBPS
+    bottleneck_bps: Optional[int] = None  # defaults to rate_bps
+    link_delay_ns: int = 4 * MICROS
+    host_delay_ns: int = 2 * MICROS
+    buffer_bytes: int = 4_500_000
+    buffer_alpha: float = 0.25
+
+
+@dataclass
+class Dumbbell:
+    topo: Topology
+    senders: List[Host]
+    receivers: List[Host]
+    left: Switch
+    right: Switch
+
+    @property
+    def bottleneck(self) -> EgressPort:
+        """The contended left->right port."""
+        return self.topo.port(self.left, self.right)
+
+
+def build_dumbbell(
+    sim: Simulator, make_queues: QueueFactory, spec: DumbbellSpec = DumbbellSpec()
+) -> Dumbbell:
+    topo = Topology(sim, make_queues)
+    left = topo.add_switch("swL", spec.buffer_bytes, spec.buffer_alpha)
+    right = topo.add_switch("swR", spec.buffer_bytes, spec.buffer_alpha)
+    topo.connect(left, right, spec.bottleneck_bps or spec.rate_bps, spec.link_delay_ns)
+    senders, receivers = [], []
+    host_delay = spec.link_delay_ns + spec.host_delay_ns
+    for i in range(spec.n_pairs):
+        s = topo.add_host(f"s{i}")
+        r = topo.add_host(f"r{i}")
+        topo.connect(s, left, spec.rate_bps, host_delay)
+        topo.connect(r, right, spec.rate_bps, host_delay)
+        senders.append(s)
+        receivers.append(r)
+    topo.finalize()
+    return Dumbbell(topo, senders, receivers, left, right)
+
+
+@dataclass
+class StarSpec:
+    """Hosts on a single switch — the testbed's two-to-one and incast shape."""
+
+    n_hosts: int = 3
+    rate_bps: int = 10 * GBPS
+    link_delay_ns: int = 4 * MICROS
+    host_delay_ns: int = 2 * MICROS
+    buffer_bytes: int = 4_500_000
+    buffer_alpha: float = 0.25
+
+
+@dataclass
+class Star:
+    topo: Topology
+    hosts: List[Host]
+    switch: Switch
+
+    def downlink(self, host: Host) -> EgressPort:
+        """The switch port facing ``host`` (the incast bottleneck)."""
+        return self.topo.port(self.switch, host)
+
+
+def build_star(sim: Simulator, make_queues: QueueFactory, spec: StarSpec = StarSpec()) -> Star:
+    topo = Topology(sim, make_queues)
+    switch = topo.add_switch("sw", spec.buffer_bytes, spec.buffer_alpha)
+    hosts = []
+    delay = spec.link_delay_ns + spec.host_delay_ns
+    for i in range(spec.n_hosts):
+        h = topo.add_host(f"h{i}")
+        topo.connect(h, switch, spec.rate_bps, delay)
+        hosts.append(h)
+    topo.finalize()
+    return Star(topo, hosts, switch)
+
+
+@dataclass
+class ClosSpec:
+    """3-tier Clos matching §6.2 at full scale.
+
+    Paper values: 8 pods × 2 aggs × 4 ToRs × 6 hosts = 192 hosts, 8 cores,
+    40 Gbps everywhere, 3:1 ToR oversubscription (6 host links down, 2
+    uplinks). Defaults here are a scaled-down version with the same shape;
+    pass the paper numbers to run full scale.
+    """
+
+    n_pods: int = 2
+    aggs_per_pod: int = 2
+    tors_per_pod: int = 2
+    hosts_per_tor: int = 4
+    cores_per_group: int = 1  # cores per agg position; n_cores = aggs_per_pod * this
+    rate_bps: int = 10 * GBPS
+    link_delay_ns: int = 4 * MICROS
+    host_delay_ns: int = 2 * MICROS
+    buffer_bytes: int = 4_500_000
+    buffer_alpha: float = 0.25
+
+    @property
+    def n_hosts(self) -> int:
+        return self.n_pods * self.tors_per_pod * self.hosts_per_tor
+
+    @classmethod
+    def paper_scale(cls) -> "ClosSpec":
+        from repro.sim.units import GBPS as _G
+
+        return cls(
+            n_pods=8,
+            aggs_per_pod=2,
+            tors_per_pod=4,
+            hosts_per_tor=6,
+            cores_per_group=4,
+            rate_bps=40 * _G,
+        )
+
+
+@dataclass
+class Clos:
+    topo: Topology
+    cores: List[Switch]
+    aggs: List[List[Switch]]  # per pod
+    tors: List[List[Switch]]  # per pod
+    hosts_by_tor: Dict[int, List[Host]]  # ToR switch id -> hosts
+    spec: ClosSpec
+
+    @property
+    def hosts(self) -> List[Host]:
+        return self.topo.hosts
+
+    def rack_of(self, host: Host) -> int:
+        """Index of the host's rack (ToR) in generation order."""
+        for rack_idx, (tor_id, members) in enumerate(sorted(self.hosts_by_tor.items())):
+            if host in members:
+                return rack_idx
+        raise ValueError(f"host {host.name} not in any rack")
+
+    def racks(self) -> List[List[Host]]:
+        return [members for _, members in sorted(self.hosts_by_tor.items())]
+
+    def tor_uplinks(self) -> List[EgressPort]:
+        """ToR -> Agg ports: the paper's 'core load' measurement points."""
+        ports = []
+        for pod_tors, pod_aggs in zip(self.tors, self.aggs):
+            for tor in pod_tors:
+                for agg in pod_aggs:
+                    ports.append(self.topo.port(tor, agg))
+        return ports
+
+
+def build_clos(
+    sim: Simulator, make_queues: QueueFactory, spec: ClosSpec = ClosSpec()
+) -> Clos:
+    topo = Topology(sim, make_queues)
+    n_cores = spec.aggs_per_pod * spec.cores_per_group
+    cores = [
+        topo.add_switch(f"core{c}", spec.buffer_bytes, spec.buffer_alpha)
+        for c in range(n_cores)
+    ]
+    aggs: List[List[Switch]] = []
+    tors: List[List[Switch]] = []
+    hosts_by_tor: Dict[int, List[Host]] = {}
+    host_delay = spec.link_delay_ns + spec.host_delay_ns
+    for core in cores:
+        core.ecmp_salt = 3
+    for p in range(spec.n_pods):
+        pod_aggs = [
+            topo.add_switch(f"agg{p}.{a}", spec.buffer_bytes, spec.buffer_alpha)
+            for a in range(spec.aggs_per_pod)
+        ]
+        pod_tors = [
+            topo.add_switch(f"tor{p}.{t}", spec.buffer_bytes, spec.buffer_alpha)
+            for t in range(spec.tors_per_pod)
+        ]
+        for agg in pod_aggs:
+            agg.ecmp_salt = 2
+        for tor in pod_tors:
+            tor.ecmp_salt = 1
+        # Each agg position `a` uplinks to its core group.
+        for a, agg in enumerate(pod_aggs):
+            group = cores[a * spec.cores_per_group : (a + 1) * spec.cores_per_group]
+            for core in group:
+                topo.connect(agg, core, spec.rate_bps, spec.link_delay_ns)
+        # Every ToR connects to every agg in its pod.
+        for t, tor in enumerate(pod_tors):
+            for agg in pod_aggs:
+                topo.connect(tor, agg, spec.rate_bps, spec.link_delay_ns)
+            members = []
+            for h in range(spec.hosts_per_tor):
+                host = topo.add_host(f"h{p}.{t}.{h}")
+                topo.connect(host, tor, spec.rate_bps, host_delay)
+                members.append(host)
+            hosts_by_tor[tor.id] = members
+        aggs.append(pod_aggs)
+        tors.append(pod_tors)
+    topo.finalize()
+    return Clos(topo, cores, aggs, tors, hosts_by_tor, spec)

@@ -1,0 +1,42 @@
+"""Named deterministic random streams.
+
+Every source of randomness in an experiment (flow sizes, arrival times,
+source/destination picks, ECMP tie-breaks) draws from its own named stream.
+Streams are derived from the experiment seed and the stream name, so adding a
+new consumer of randomness never perturbs existing streams — a property the
+regression tests rely on.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+
+class RngRegistry:
+    """A registry of named ``numpy.random.Generator`` streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating if needed) the generator for ``name``."""
+        gen = self._streams.get(name)
+        if gen is None:
+            # Stable across processes and Python versions: derive the child
+            # seed from CRC32 of the name rather than hash().
+            child = zlib.crc32(name.encode("utf-8"))
+            gen = np.random.default_rng(np.random.SeedSequence([self._seed, child]))
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, salt: int) -> "RngRegistry":
+        """Derive an independent registry (e.g., per repetition)."""
+        return RngRegistry(seed=(self._seed * 1_000_003 + salt) & 0x7FFFFFFF)

@@ -1,0 +1,95 @@
+"""Shared transport plumbing: flow descriptions, per-flow stats, segmenting.
+
+A *flow* is a one-shot message transfer (the unit of the paper's FCT
+metrics): ``size_bytes`` arrive at the sender application at ``start_ns``
+and the flow completes when the receiver has every unique byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.net.packet import MSS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+
+@dataclass
+class FlowSpec:
+    """Immutable description of one flow."""
+
+    flow_id: int
+    src: "Host"
+    dst: "Host"
+    size_bytes: int
+    start_ns: int
+    #: scheme label for grouping in metrics ("dctcp", "flexpass", ...)
+    scheme: str = ""
+    #: "legacy" or "new" — which side of the deployment boundary (§6.2)
+    group: str = "legacy"
+    #: "bg" background or "fg" foreground incast (§6.2 mixed workload)
+    role: str = "bg"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"flow {self.flow_id}: size must be positive")
+        if self.src.id == self.dst.id:
+            raise ValueError(f"flow {self.flow_id}: src == dst")
+
+    @property
+    def n_segments(self) -> int:
+        return (self.size_bytes + MSS - 1) // MSS
+
+    def segment_payload(self, idx: int) -> int:
+        """Application bytes in segment ``idx`` (the last may be short)."""
+        if idx < 0 or idx >= self.n_segments:
+            raise IndexError(f"segment {idx} out of range for flow {self.flow_id}")
+        if idx == self.n_segments - 1:
+            return self.size_bytes - idx * MSS
+        return MSS
+
+
+@dataclass
+class FlowStats:
+    """Mutable per-flow counters, shared by the flow's two endpoints."""
+
+    start_ns: int = -1
+    complete_ns: int = -1  # receiver got every byte; -1 while running
+    delivered_bytes: int = 0
+    #: bytes delivered via each sub-flow (FlexPass) or total (others)
+    proactive_bytes: int = 0
+    reactive_bytes: int = 0
+    duplicate_bytes: int = 0  # redundant copies discarded at reassembly
+    timeouts: int = 0
+    request_retries: int = 0  # credit-request timer fires (control plane)
+    retransmissions: int = 0
+    proactive_retransmissions: int = 0  # FlexPass §4.2 "proactive retransmission"
+    credits_sent: int = 0
+    credits_wasted: int = 0  # credit arrived but nothing useful to send
+    packets_sent: int = 0
+    max_reorder_bytes: int = 0  # peak receiver reordering-buffer occupancy
+
+    @property
+    def completed(self) -> bool:
+        return self.complete_ns >= 0
+
+    def fct_ns(self) -> int:
+        if not self.completed:
+            raise ValueError("flow has not completed")
+        return self.complete_ns - self.start_ns
+
+
+#: Invoked by the receiver endpoint the moment the last unique byte arrives.
+CompletionCallback = Callable[[FlowSpec, FlowStats], None]
+
+
+@dataclass
+class TransportParams:
+    """Knobs common to every transport; schemes extend this."""
+
+    #: DSCP of data / ack / control packets — set per deployment scheme so
+    #: the same transport code can live in different switch queues.
+    data_dscp: int = 4  # Dscp.LEGACY
+    ack_dscp: int = 4

@@ -1,0 +1,99 @@
+"""Receiver-side credit pacing, shared by ExpressPass and FlexPass.
+
+A :class:`CreditPacer` emits credit packets toward a flow's sender at the
+rate chosen by a :class:`~repro.transports.credit_feedback.CreditFeedback`
+controller, and runs the controller's periodic update. The owner decides
+when to start and stop (FlexPass stops as soon as reassembly completes,
+regardless of which sub-flow delivered the bytes).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, TYPE_CHECKING
+
+from repro.net.packet import CREDIT_WIRE_BYTES, Dscp, Packet, PacketKind
+from repro.transports.credit_feedback import CreditFeedback, FeedbackParams
+from repro.sim.units import SECONDS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+    from repro.sim.engine import EventHandle, Simulator
+    from repro.transports.base import FlowStats
+
+
+class CreditPacer:
+    """Paces credits for one flow from the receiver host."""
+
+    def __init__(self, sim: "Simulator", flow_id: int, receiver_host: "Host",
+                 sender_host_id: int, stats: "FlowStats",
+                 max_credit_rate_bps: float, update_period_ns: int,
+                 feedback_params: FeedbackParams = FeedbackParams()) -> None:
+        self.sim = sim
+        self.flow_id = flow_id
+        self.host = receiver_host
+        self.sender_id = sender_host_id
+        self.stats = stats
+        self.feedback = CreditFeedback(
+            max_credit_rate_bps, update_period_ns, feedback_params
+        )
+        self.update_period_ns = update_period_ns
+        self._credit_seq = 0
+        self._credit_timer: Optional["EventHandle"] = None
+        self._period_timer: Optional["EventHandle"] = None
+        self.running = False
+        # ExpressPass jitters credit pacing; without it, same-rate pacers
+        # phase-lock against the token-bucket limiters and one flow's
+        # credits lose the race indefinitely. Seeded per flow: runs stay
+        # deterministic.
+        self._jitter = random.Random(flow_id * 2654435761 % (1 << 31))
+
+    # ----------------------------------------------------------- control
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._send_credit()
+        self._period_timer = self.sim.after(self.update_period_ns, self._on_period)
+
+    def stop(self) -> None:
+        self.running = False
+        if self._credit_timer is not None:
+            self._credit_timer.cancel()
+            self._credit_timer = None
+        if self._period_timer is not None:
+            self._period_timer.cancel()
+            self._period_timer = None
+
+    # ------------------------------------------------------------ inputs
+
+    def note_data_received(self, credit_echo: int) -> None:
+        self.feedback.note_data_received(credit_echo)
+
+    # ---------------------------------------------------------- internal
+
+    def _interval_ns(self) -> int:
+        base = CREDIT_WIRE_BYTES * 8 * SECONDS / self.feedback.rate_bps
+        return max(1, int(base * self._jitter.uniform(0.5, 1.5)))
+
+    def _send_credit(self) -> None:
+        self._credit_timer = None
+        if not self.running:
+            return
+        credit = Packet(
+            PacketKind.CREDIT, self.flow_id, self.host.id, self.sender_id,
+            CREDIT_WIRE_BYTES, dscp=Dscp.CREDIT, seq=self._credit_seq,
+        )
+        self._credit_seq += 1
+        self.stats.credits_sent += 1
+        self.feedback.note_credit_sent()
+        self.host.send(credit)
+        self._credit_timer = self.sim.after(self._interval_ns(), self._send_credit)
+
+    def _on_period(self) -> None:
+        self._period_timer = None
+        if not self.running:
+            return
+        self.feedback.on_period()
+        self._period_timer = self.sim.after(self.update_period_ns, self._on_period)

@@ -1,0 +1,158 @@
+"""Alternative reactive congestion controllers for FlexPass's reactive
+sub-flow (§4.3 "Extensibility": "We can also consider applying other
+reactive congestion control algorithms (e.g., loss-based, latency-based, or
+ECN-based) for the reactive sub-flows. We leave this as our future work.")
+
+All controllers expose the same duck-typed interface as
+:class:`repro.transports.congestion.DctcpWindow`:
+
+* ``on_ack(acked_seq, ce, snd_nxt)`` — one newly-acked segment;
+* ``on_loss()`` / ``on_timeout()`` — loss events;
+* ``allowed_in_flight()`` — current window in segments;
+* ``cwnd`` attribute for diagnostics.
+
+Two variants implement the families the paper names:
+
+* :class:`RenoWindow` — loss-based (TCP Reno AIMD; ignores CE marks);
+* :class:`DelayWindow` — latency-based (TIMELY-flavoured: gradient of the
+  RTT drives additive increase / multiplicative decrease).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RenoParams:
+    init_cwnd: float = 10.0
+    min_cwnd: float = 1.0
+    max_cwnd: float = 1 << 20
+    init_ssthresh: float = float(1 << 20)
+
+
+class RenoWindow:
+    """Classic loss-based AIMD: slow start, +1/cwnd per ACK, halve on loss."""
+
+    def __init__(self, params: RenoParams = RenoParams()) -> None:
+        self.p = params
+        self.cwnd = params.init_cwnd
+        self.ssthresh = params.init_ssthresh
+        self._cut_window_end = 0
+        self._highest_acked = 0
+        self.loss_cuts = 0
+        self.timeout_resets = 0
+        self.alpha = 0.0  # interface compatibility; unused
+
+    def on_ack(self, acked_seq: int, ce: bool, snd_nxt: int) -> None:
+        # Reno is blind to ECN: ce is deliberately ignored.
+        self._highest_acked = max(self._highest_acked, acked_seq)
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0
+        else:
+            self.cwnd += 1.0 / self.cwnd
+        self.cwnd = min(self.cwnd, self.p.max_cwnd)
+
+    def on_loss(self) -> None:
+        if self._highest_acked < self._cut_window_end:
+            return  # at most one cut per window of data
+        self.cwnd = max(self.p.min_cwnd, self.cwnd / 2.0)
+        self.ssthresh = self.cwnd
+        self._cut_window_end = self._highest_acked + int(self.cwnd) + 1
+        self.loss_cuts += 1
+
+    def on_timeout(self) -> None:
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = self.p.min_cwnd
+        self.timeout_resets += 1
+
+    def allowed_in_flight(self) -> int:
+        return int(self.cwnd)
+
+
+@dataclass
+class DelayParams:
+    init_cwnd: float = 10.0
+    min_cwnd: float = 1.0
+    max_cwnd: float = 1 << 20
+    #: RTT below this is "no congestion" — grow additively.
+    t_low_ns: float = 60_000.0
+    #: RTT above this is congestion regardless of gradient.
+    t_high_ns: float = 400_000.0
+    additive_increment: float = 1.0
+    #: multiplicative decrease factor scale (TIMELY beta)
+    beta: float = 0.6
+    #: EWMA gain for the RTT-difference filter
+    ewma_gain: float = 0.3
+
+
+class DelayWindow:
+    """Latency-based controller in the spirit of TIMELY [32].
+
+    Window-based approximation: the normalized RTT gradient drives AIMD.
+    Callers must feed RTT samples via :meth:`on_rtt_sample` (the FlexPass
+    reactive sub-flow does this from its ACK timestamps).
+    """
+
+    def __init__(self, params: DelayParams = DelayParams()) -> None:
+        self.p = params
+        self.cwnd = params.init_cwnd
+        self._prev_rtt: float = 0.0
+        self._rtt_diff: float = 0.0
+        self.loss_cuts = 0
+        self.timeout_resets = 0
+        self.alpha = 0.0  # interface compatibility
+
+    def on_rtt_sample(self, rtt_ns: float) -> None:
+        if self._prev_rtt <= 0.0:
+            self._prev_rtt = rtt_ns
+            return
+        diff = rtt_ns - self._prev_rtt
+        self._prev_rtt = rtt_ns
+        g = self.p.ewma_gain
+        self._rtt_diff = (1 - g) * self._rtt_diff + g * diff
+        p = self.p
+        if rtt_ns < p.t_low_ns:
+            self.cwnd += p.additive_increment
+        elif rtt_ns > p.t_high_ns:
+            self.cwnd *= 1.0 - p.beta * (1.0 - p.t_high_ns / rtt_ns)
+        else:
+            # gradient regime: normalized by a minimum-RTT scale
+            gradient = self._rtt_diff / max(p.t_low_ns, 1.0)
+            if gradient <= 0:
+                self.cwnd += p.additive_increment
+            else:
+                self.cwnd *= max(0.5, 1.0 - p.beta * min(gradient, 1.0))
+        self.cwnd = min(max(self.cwnd, p.min_cwnd), p.max_cwnd)
+
+    def on_ack(self, acked_seq: int, ce: bool, snd_nxt: int) -> None:
+        # Window motion comes from RTT samples; per-ACK hook kept for
+        # interface parity (delay-based control ignores CE).
+        return
+
+    def on_loss(self) -> None:
+        self.cwnd = max(self.p.min_cwnd, self.cwnd / 2.0)
+        self.loss_cuts += 1
+
+    def on_timeout(self) -> None:
+        self.cwnd = self.p.min_cwnd
+        self.timeout_resets += 1
+
+    def allowed_in_flight(self) -> int:
+        return int(self.cwnd)
+
+
+def make_reactive_window(algorithm: str):
+    """Factory for FlexPassParams.reactive_algorithm."""
+    if algorithm == "dctcp":
+        from repro.transports.congestion import DctcpWindow
+
+        return DctcpWindow()
+    if algorithm == "reno":
+        return RenoWindow()
+    if algorithm == "delay":
+        return DelayWindow()
+    raise ValueError(
+        f"unknown reactive algorithm {algorithm!r}; "
+        "choose 'dctcp', 'reno', or 'delay'"
+    )

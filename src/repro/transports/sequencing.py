@@ -1,0 +1,167 @@
+"""Sequence-space bookkeeping shared by all transports.
+
+Segments are numbered 0..n-1 in each sequence space. FlexPass uses three
+spaces per flow (flow space for reassembly, one space per sub-flow for
+congestion control and loss detection), exactly like MPTCP's data/sub-flow
+split (§4.2). The classes here are space-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+class ReceiveScoreboard:
+    """Receiver-side tracking of which seqs arrived; produces cum + SACK."""
+
+    __slots__ = ("_cum", "_ooo", "duplicates", "_sack_limit")
+
+    def __init__(self, sack_limit: int = 16) -> None:
+        self._cum = 0  # next expected seq
+        self._ooo: Set[int] = set()
+        self.duplicates = 0
+        self._sack_limit = sack_limit
+
+    @property
+    def cum(self) -> int:
+        """Next expected sequence number (all below are received)."""
+        return self._cum
+
+    def add(self, seq: int) -> bool:
+        """Record arrival of ``seq``. Returns True if it was new."""
+        if seq < self._cum or seq in self._ooo:
+            self.duplicates += 1
+            return False
+        if seq == self._cum:
+            self._cum += 1
+            while self._cum in self._ooo:
+                self._ooo.discard(self._cum)
+                self._cum += 1
+        else:
+            self._ooo.add(seq)
+        return True
+
+    def has(self, seq: int) -> bool:
+        return seq < self._cum or seq in self._ooo
+
+    def sack(self) -> Tuple[int, ...]:
+        """Out-of-order seqs above cum, capped to the *highest* few.
+
+        Like TCP SACK's most-recent-first reporting: under heavy loss the
+        freshest arrivals are the news the sender needs for dupack-based
+        detection; the oldest holes are already implied by ``cum``.
+        """
+        if not self._ooo:
+            return ()
+        ordered = sorted(self._ooo)
+        return tuple(ordered[-self._sack_limit:])
+
+    def received_count(self) -> int:
+        return self._cum + len(self._ooo)
+
+
+class SenderScoreboard:
+    """Sender-side ACK/SACK processing with SACK-based loss detection.
+
+    A transmitted seq is declared lost once ``dupthresh`` seqs above it have
+    been acknowledged after its transmission (RFC 6675-style), or when the
+    retransmission timer fires. Callers learn about transitions through the
+    return values of :meth:`on_ack`.
+    """
+
+    __slots__ = ("dupthresh", "_outstanding", "_acked", "_cum", "_dup_counts")
+
+    def __init__(self, dupthresh: int = 3) -> None:
+        self.dupthresh = dupthresh
+        self._outstanding: Dict[int, int] = {}  # seq -> sent_at (ns)
+        self._acked: Set[int] = set()
+        self._cum = 0  # everything below is acked
+        self._dup_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------- sending
+
+    def on_send(self, seq: int, now_ns: int) -> None:
+        self._outstanding[seq] = now_ns
+        self._dup_counts[seq] = 0
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._outstanding)
+
+    def outstanding_seqs(self) -> List[int]:
+        return sorted(self._outstanding)
+
+    def oldest_outstanding(self) -> Optional[int]:
+        return min(self._outstanding) if self._outstanding else None
+
+    def sent_at(self, seq: int) -> Optional[int]:
+        return self._outstanding.get(seq)
+
+    # ---------------------------------------------------------------- acks
+
+    def on_ack(self, cum: int, sack: Iterable[int]) -> Tuple[List[int], List[int]]:
+        """Process an ACK. Returns ``(newly_acked, newly_lost)`` seq lists.
+
+        ``newly_acked`` reports every seq newly known to be delivered — even
+        one previously declared lost (a spurious loss detection, or the
+        cumulative ACK of a retransmission): cumulative coverage is
+        authoritative, and callers must be able to cancel pending
+        retransmissions for such seqs.
+        """
+        newly_acked: List[int] = []
+        news_above: List[int] = []
+        if cum > self._cum:
+            for seq in range(self._cum, cum):
+                if seq in self._outstanding:
+                    del self._outstanding[seq]
+                    self._dup_counts.pop(seq, None)
+                if seq not in self._acked:
+                    self._acked.add(seq)
+                    newly_acked.append(seq)
+            self._cum = cum
+            news_above.append(cum - 1)
+        for seq in sack:
+            if seq >= self._cum and seq not in self._acked:
+                self._acked.add(seq)
+                news_above.append(seq)
+                if seq in self._outstanding:
+                    del self._outstanding[seq]
+                    self._dup_counts.pop(seq, None)
+                newly_acked.append(seq)
+        newly_lost = self._detect_losses(news_above)
+        return newly_acked, newly_lost
+
+    def _detect_losses(self, news_above: List[int]) -> List[int]:
+        if not news_above or not self._outstanding:
+            return []
+        highest_news = max(news_above)
+        lost: List[int] = []
+        for seq in list(self._outstanding):
+            if seq < highest_news:
+                self._dup_counts[seq] = self._dup_counts.get(seq, 0) + 1
+                if self._dup_counts[seq] >= self.dupthresh:
+                    del self._outstanding[seq]
+                    self._dup_counts.pop(seq, None)
+                    lost.append(seq)
+        return sorted(lost)
+
+    def remove(self, seq: int) -> bool:
+        """Drop an in-flight entry that was implicitly acknowledged out of
+        band (e.g., the same FlexPass segment ACKed on the other sub-flow).
+        Returns True if the seq was outstanding."""
+        if seq in self._outstanding:
+            del self._outstanding[seq]
+            self._dup_counts.pop(seq, None)
+            self._acked.add(seq)
+            return True
+        return False
+
+    def declare_all_lost(self) -> List[int]:
+        """Timeout path: every in-flight seq is presumed lost."""
+        lost = sorted(self._outstanding)
+        self._outstanding.clear()
+        self._dup_counts.clear()
+        return lost
+
+    def is_acked(self, seq: int) -> bool:
+        return seq < self._cum or seq in self._acked

@@ -1,0 +1,84 @@
+"""RTT estimation and retransmission timers (RFC 6298 with a floor).
+
+The paper sets RTO_min to 4 ms for kernel TCP / DCTCP in both testbed and
+simulation; the reactive machinery here uses the same default.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.sim.units import MILLIS, SECONDS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import EventHandle, Simulator
+
+
+class RttEstimator:
+    """Jacobson/Karels smoothed RTT with a minimum RTO clamp."""
+
+    __slots__ = ("srtt", "rttvar", "min_rto_ns", "max_rto_ns")
+
+    def __init__(self, min_rto_ns: int = 4 * MILLIS, max_rto_ns: int = SECONDS) -> None:
+        self.srtt: Optional[float] = None
+        self.rttvar: float = 0.0
+        self.min_rto_ns = min_rto_ns
+        self.max_rto_ns = max_rto_ns
+
+    def update(self, sample_ns: int) -> None:
+        if sample_ns <= 0:
+            return
+        if self.srtt is None:
+            self.srtt = float(sample_ns)
+            self.rttvar = sample_ns / 2.0
+        else:
+            delta = abs(self.srtt - sample_ns)
+            self.rttvar = 0.75 * self.rttvar + 0.25 * delta
+            self.srtt = 0.875 * self.srtt + 0.125 * sample_ns
+
+    def rto_ns(self) -> int:
+        if self.srtt is None:
+            return self.min_rto_ns
+        rto = self.srtt + max(4.0 * self.rttvar, 1000.0)
+        return int(min(max(rto, self.min_rto_ns), self.max_rto_ns))
+
+
+class RetransmitTimer:
+    """One retransmission timer with exponential backoff."""
+
+    def __init__(self, sim: "Simulator", estimator: RttEstimator,
+                 on_timeout: Callable[[], None]) -> None:
+        self._sim = sim
+        self._est = estimator
+        self._on_timeout = on_timeout
+        self._handle: Optional["EventHandle"] = None
+        self._backoff = 1
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None
+
+    def arm(self) -> None:
+        """(Re)start the timer at the current RTO."""
+        self.cancel()
+        delay = min(self._est.rto_ns() * self._backoff, self._est.max_rto_ns)
+        self._handle = self._sim.after(delay, self._fire)
+
+    def arm_if_idle(self) -> None:
+        if self._handle is None:
+            self.arm()
+
+    def cancel(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def on_progress(self) -> None:
+        """Fresh ACK progress: reset backoff and restart."""
+        self._backoff = 1
+        self.arm()
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._backoff = min(self._backoff * 2, 64)
+        self._on_timeout()

@@ -1,0 +1,16 @@
+"""Traffic generation: flow-size distributions, arrivals, incast, deployment."""
+
+from repro.workloads.arrivals import PoissonTraffic, TrafficSpec
+from repro.workloads.deployment import DeploymentPlan
+from repro.workloads.distributions import EmpiricalCdf, WORKLOADS, workload_cdf
+from repro.workloads.incast import IncastTraffic
+
+__all__ = [
+    "PoissonTraffic",
+    "TrafficSpec",
+    "DeploymentPlan",
+    "EmpiricalCdf",
+    "WORKLOADS",
+    "workload_cdf",
+    "IncastTraffic",
+]

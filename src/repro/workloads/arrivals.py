@@ -1,0 +1,96 @@
+"""Open-loop Poisson background traffic (§6.2).
+
+Flows arrive as a Poisson process; sizes come from the workload CDF; each
+flow picks a uniformly random (src, dst) host pair. The arrival rate is set
+so the offered load on host access links equals ``load`` — the paper states
+loads relative to ToR-uplink (core) utilization, which for all-to-all
+uniform traffic on this Clos differs by the fixed oversubscription factor;
+:func:`PoissonTraffic.core_load_factor` exposes the conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.workloads.distributions import EmpiricalCdf
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+
+@dataclass
+class TrafficSpec:
+    """One generated flow before endpoint creation."""
+
+    flow_id: int
+    src: "Host"
+    dst: "Host"
+    size_bytes: int
+    start_ns: int
+    role: str = "bg"
+
+
+class PoissonTraffic:
+    """Generates the background flow list for one experiment."""
+
+    def __init__(self, hosts: Sequence["Host"], cdf: EmpiricalCdf, load: float,
+                 rate_bps: int, sim_time_ns: int, rng: np.random.Generator,
+                 size_scale: float = 1.0, first_flow_id: int = 1) -> None:
+        if not 0.0 < load < 1.0:
+            raise ValueError(f"load must be in (0,1), got {load}")
+        if len(hosts) < 2:
+            raise ValueError("need at least two hosts")
+        self.hosts = list(hosts)
+        self.cdf = cdf
+        self.load = load
+        self.rate_bps = rate_bps
+        self.sim_time_ns = sim_time_ns
+        self.rng = rng
+        self.size_scale = size_scale
+        self.first_flow_id = first_flow_id
+
+    def arrival_rate_per_ns(self) -> float:
+        """Aggregate flow arrival rate lambda (flows/ns).
+
+        Total offered bits/s = load * n_hosts * access_rate; divide by the
+        (scaled) mean flow size in bits.
+        """
+        mean_bits = self.cdf.mean_bytes(self.size_scale) * 8.0
+        offered_bps = self.load * len(self.hosts) * self.rate_bps
+        return offered_bps / mean_bits / 1e9
+
+    def generate(self) -> List[TrafficSpec]:
+        lam = self.arrival_rate_per_ns()
+        t = 0.0
+        flow_id = self.first_flow_id
+        n_hosts = len(self.hosts)
+        flows: List[TrafficSpec] = []
+        rng = self.rng
+        while True:
+            t += rng.exponential(1.0 / lam)
+            start = int(t)
+            if start >= self.sim_time_ns:
+                break
+            a = int(rng.integers(0, n_hosts))
+            b = int(rng.integers(0, n_hosts - 1))
+            if b >= a:
+                b += 1
+            size = self.cdf.sample(rng, self.size_scale)
+            flows.append(
+                TrafficSpec(flow_id, self.hosts[a], self.hosts[b], size, start)
+            )
+            flow_id += 1
+        return flows
+
+    @staticmethod
+    def core_load_factor(n_racks: int, oversubscription: float) -> float:
+        """Multiply access-link load by this to get expected core load for
+        uniform all-to-all traffic: a flow leaves its rack with probability
+        (n_racks-1)/n_racks, and uplinks are oversubscribed."""
+        if n_racks < 2:
+            return 0.0
+        leave_prob = (n_racks - 1) / n_racks
+        return leave_prob * oversubscription

@@ -1,0 +1,180 @@
+"""Empirical flow-size distributions (§6.2 benchmark workloads).
+
+Four realistic workloads drive the paper's simulations:
+
+* ``websearch``     — the DCTCP web-search cluster [2];
+* ``datamining``    — the VL2 data-mining cluster [14];
+* ``cachefollower`` — Facebook cache-follower machines [41];
+* ``hadoop``        — Facebook Hadoop machines [41].
+
+The CDFs below are piecewise transcriptions of the published distributions
+(the exact traces are not public; DESIGN.md records this substitution).
+Sampling uses inverse-transform with log-linear interpolation between knots,
+appropriate for sizes spanning five decades.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+class EmpiricalCdf:
+    """Piecewise CDF over flow sizes in bytes."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]], name: str = "") -> None:
+        if len(points) < 2:
+            raise ValueError("need at least two CDF points")
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        if any(b <= a for a, b in zip(xs, xs[1:])):
+            raise ValueError(f"{name}: sizes must be strictly increasing")
+        if any(b < a for a, b in zip(ys, ys[1:])):
+            raise ValueError(f"{name}: CDF must be nondecreasing")
+        if ys[0] != 0.0 or ys[-1] != 1.0:
+            raise ValueError(f"{name}: CDF must start at 0 and end at 1")
+        if xs[0] < 1:
+            raise ValueError(f"{name}: smallest size must be >= 1 byte")
+        self.name = name
+        self._xs = np.asarray(xs, dtype=float)
+        self._ys = np.asarray(ys, dtype=float)
+        self._log_xs = np.log(self._xs)
+
+    def sample(self, rng: np.random.Generator, scale: float = 1.0) -> int:
+        """Draw one flow size (bytes), optionally divided by ``scale``."""
+        u = rng.random()
+        size = self._inverse(u)
+        return max(1, int(size / scale))
+
+    def sample_many(self, rng: np.random.Generator, n: int, scale: float = 1.0):
+        return [self.sample(rng, scale) for _ in range(n)]
+
+    def _inverse(self, u: float) -> float:
+        ys = self._ys
+        idx = int(np.searchsorted(ys, u, side="left"))
+        if idx <= 0:
+            return float(self._xs[0])
+        if idx >= len(ys):
+            return float(self._xs[-1])
+        y0, y1 = ys[idx - 1], ys[idx]
+        if y1 == y0:
+            return float(self._xs[idx])
+        frac = (u - y0) / (y1 - y0)
+        lx0, lx1 = self._log_xs[idx - 1], self._log_xs[idx]
+        return math.exp(lx0 + frac * (lx1 - lx0))
+
+    def mean_bytes(self, scale: float = 1.0) -> float:
+        """Mean flow size under log-linear interpolation (numeric)."""
+        total = 0.0
+        steps = 200
+        for i in range(len(self._ys) - 1):
+            y0, y1 = self._ys[i], self._ys[i + 1]
+            if y1 == y0:
+                continue
+            for k in range(steps):
+                u = y0 + (y1 - y0) * (k + 0.5) / steps
+                total += self._inverse(u) * (y1 - y0) / steps
+        return total / scale
+
+    def fraction_below(self, size_bytes: float) -> float:
+        """CDF value at ``size_bytes`` (log-linear interpolation)."""
+        if size_bytes <= self._xs[0]:
+            return float(self._ys[0])
+        if size_bytes >= self._xs[-1]:
+            return 1.0
+        lx = math.log(size_bytes)
+        idx = int(np.searchsorted(self._log_xs, lx, side="right"))
+        lx0, lx1 = self._log_xs[idx - 1], self._log_xs[idx]
+        y0, y1 = self._ys[idx - 1], self._ys[idx]
+        if lx1 == lx0:
+            return float(y1)
+        return float(y0 + (y1 - y0) * (lx - lx0) / (lx1 - lx0))
+
+
+_KB = 1_000
+_MB = 1_000_000
+
+#: Web search [2] — bimodal: >50% of flows under ~60 kB, heavy 1-30 MB tail.
+WEBSEARCH = EmpiricalCdf(
+    [
+        (1 * _KB, 0.0),
+        (6 * _KB, 0.15),
+        (13 * _KB, 0.30),
+        (19 * _KB, 0.45),
+        (33 * _KB, 0.60),
+        (53 * _KB, 0.70),
+        (133 * _KB, 0.80),
+        (667 * _KB, 0.90),
+        (1_340 * _KB, 0.95),
+        (3_300 * _KB, 0.98),
+        (6_700 * _KB, 0.99),
+        (20 * _MB, 1.0),
+    ],
+    name="websearch",
+)
+
+#: Data mining [14] — extremely heavy-tailed: half the flows fit in one
+#: packet while the top 1% reach hundreds of MB.
+DATAMINING = EmpiricalCdf(
+    [
+        (100, 0.0),
+        (1 * _KB, 0.50),
+        (2 * _KB, 0.60),
+        (4 * _KB, 0.70),
+        (10 * _KB, 0.80),
+        (400 * _KB, 0.90),
+        (3_200 * _KB, 0.95),
+        (100 * _MB, 0.99),
+        (500 * _MB, 1.0),
+    ],
+    name="datamining",
+)
+
+#: Cache follower [41] — dominated by sub-10 kB responses with a modest tail.
+CACHEFOLLOWER = EmpiricalCdf(
+    [
+        (100, 0.0),
+        (300, 0.30),
+        (1 * _KB, 0.50),
+        (2 * _KB, 0.60),
+        (5 * _KB, 0.70),
+        (10 * _KB, 0.80),
+        (100 * _KB, 0.90),
+        (1 * _MB, 0.97),
+        (10 * _MB, 1.0),
+    ],
+    name="cachefollower",
+)
+
+#: Hadoop [41] — mostly small control/shuffle messages, 10 MB tail.
+HADOOP = EmpiricalCdf(
+    [
+        (150, 0.0),
+        (300, 0.10),
+        (1 * _KB, 0.30),
+        (2 * _KB, 0.50),
+        (10 * _KB, 0.70),
+        (100 * _KB, 0.90),
+        (1 * _MB, 0.95),
+        (10 * _MB, 1.0),
+    ],
+    name="hadoop",
+)
+
+WORKLOADS: Dict[str, EmpiricalCdf] = {
+    "websearch": WEBSEARCH,
+    "datamining": DATAMINING,
+    "cachefollower": CACHEFOLLOWER,
+    "hadoop": HADOOP,
+}
+
+
+def workload_cdf(name: str) -> EmpiricalCdf:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None

@@ -1,0 +1,78 @@
+"""Synchronized foreground incast traffic (§6.2 mixed workload).
+
+"To generate foreground traffic, we randomly select a receiver, and each of
+the other hosts sends four 8 kB flows to the receiver." Incast events arrive
+as a Poisson process whose rate is chosen so foreground bytes make up the
+requested fraction of total traffic volume (10% in Figure 11).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.workloads.arrivals import TrafficSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+
+class IncastTraffic:
+    """Generates foreground incast bursts."""
+
+    def __init__(self, hosts: Sequence["Host"], request_bytes: int,
+                 flows_per_sender: int, background_bytes_per_ns: float,
+                 foreground_fraction: float, sim_time_ns: int,
+                 rng: np.random.Generator, first_flow_id: int) -> None:
+        if not 0.0 <= foreground_fraction < 1.0:
+            raise ValueError("foreground fraction must be in [0,1)")
+        self.hosts = list(hosts)
+        self.request_bytes = request_bytes
+        self.flows_per_sender = flows_per_sender
+        self.background_bytes_per_ns = background_bytes_per_ns
+        self.foreground_fraction = foreground_fraction
+        self.sim_time_ns = sim_time_ns
+        self.rng = rng
+        self.first_flow_id = first_flow_id
+
+    def bytes_per_event(self) -> int:
+        return (len(self.hosts) - 1) * self.flows_per_sender * self.request_bytes
+
+    def event_rate_per_ns(self) -> float:
+        """Rate so that fg / (fg + bg) == foreground_fraction."""
+        if self.foreground_fraction == 0.0:
+            return 0.0
+        fg_bytes_per_ns = (
+            self.background_bytes_per_ns
+            * self.foreground_fraction / (1.0 - self.foreground_fraction)
+        )
+        return fg_bytes_per_ns / self.bytes_per_event()
+
+    def generate(self) -> List[TrafficSpec]:
+        lam = self.event_rate_per_ns()
+        if lam <= 0.0:
+            return []
+        rng = self.rng
+        flows: List[TrafficSpec] = []
+        flow_id = self.first_flow_id
+        t = 0.0
+        n = len(self.hosts)
+        while True:
+            t += rng.exponential(1.0 / lam)
+            start = int(t)
+            if start >= self.sim_time_ns:
+                break
+            receiver = self.hosts[int(rng.integers(0, n))]
+            for sender in self.hosts:
+                if sender.id == receiver.id:
+                    continue
+                for _ in range(self.flows_per_sender):
+                    flows.append(
+                        TrafficSpec(
+                            flow_id, sender, receiver,
+                            self.request_bytes, start, role="fg",
+                        )
+                    )
+                    flow_id += 1
+        return flows

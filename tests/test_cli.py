@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_figure_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.load == 0.5
+        assert args.deployments == [0.0, 0.25, 0.5, 0.75, 1.0]
+
+    def test_run_scheme_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "bogus"])
+
+
+class TestExecution:
+    def test_run_command_prints_metrics(self, capsys):
+        rc = main(["run", "--scheme", "flexpass", "--deployment", "1.0",
+                   "--ms", "2", "--size-scale", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p99 small FCT" in out
+        assert "flexpass @ 100%" in out
+
+    def test_sweep_command(self, capsys):
+        rc = main(["sweep", "--schemes", "flexpass", "--deployments", "0", "1",
+                   "--ms", "2", "--size-scale", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Deployment sweep" in out
+        assert "flexpass" in out

@@ -1,0 +1,64 @@
+"""ECMP load-balancing behaviour on the Clos fabric."""
+
+import numpy as np
+
+from repro.net.topology import ClosSpec, build_clos
+from repro.sim.engine import Simulator
+from repro.sim.units import MILLIS
+
+from tests.test_net_port_topology import Recorder, single_queue_factory
+from repro.net.packet import Dscp, Packet, PacketKind
+
+
+def test_flows_spread_across_core_links():
+    """Many flows between one host pair should spread over the equal-cost
+    core links (per-flow hashing), with no link monopolized."""
+    sim = Simulator()
+    clos = build_clos(
+        sim, single_queue_factory,
+        ClosSpec(n_pods=2, aggs_per_pod=2, tors_per_pod=2, hosts_per_tor=2,
+                 cores_per_group=2),
+    )
+    src = clos.racks()[0][0]
+    dst = clos.racks()[-1][0]
+    n_flows = 200
+    for flow in range(1, n_flows + 1):
+        rec = Recorder()
+        dst.register_receiver(flow, rec)
+        src.send(Packet(PacketKind.DATA, flow, src.id, dst.id, 1584,
+                        dscp=Dscp.LEGACY))
+    sim.run()
+    core_counts = []
+    for core in clos.cores:
+        pkts = sum(p.link.packets_delivered for p in core.ports.values())
+        core_counts.append(pkts)
+    used = [c for c in core_counts if c > 0]
+    assert len(used) == len(clos.cores), f"unused core links: {core_counts}"
+    # no single core carries more than ~2.5x its fair share of 200 flows
+    assert max(core_counts) < 2.5 * n_flows / len(clos.cores)
+
+
+def test_single_flow_stays_on_one_path():
+    """All packets of one flow must take the same path (no reordering by
+    routing, the paper's §4.2 assumption)."""
+    sim = Simulator()
+    clos = build_clos(
+        sim, single_queue_factory,
+        ClosSpec(n_pods=2, aggs_per_pod=2, tors_per_pod=2, hosts_per_tor=2,
+                 cores_per_group=2),
+    )
+    src = clos.racks()[0][0]
+    dst = clos.racks()[-1][0]
+    rec = Recorder()
+    dst.register_receiver(7, rec)
+    for seq in range(50):
+        src.send(Packet(PacketKind.DATA, 7, src.id, dst.id, 1584,
+                        dscp=Dscp.LEGACY, seq=seq))
+    sim.run()
+    assert [p.seq for p in rec.packets] == list(range(50))  # in order
+    # exactly one core saw this flow
+    carrying = [
+        c for c in clos.cores
+        if any(p.link.packets_delivered > 0 for p in c.ports.values())
+    ]
+    assert len(carrying) == 1

@@ -1,0 +1,190 @@
+"""Integration tests for the experiment harness (config, runner, sweeps)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, QueueSettings, SchemeName
+from repro.experiments.runner import build_flow_specs, run_experiment
+from repro.experiments.scenarios import (
+    flexpass_queue_factory,
+    make_scheme_setup,
+    naive_queue_factory,
+    owf_queue_factory,
+)
+from repro.experiments.sweep import (
+    SweepCell,
+    default_sweep_config,
+    deployment_sweep,
+    fig10_rows,
+    fig12_rows,
+)
+from repro.net.packet import Dscp
+from repro.net.topology import ClosSpec, build_clos
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.units import GBPS, KB, MILLIS
+
+
+def tiny_cfg(**overrides):
+    base = dict(
+        scheme=SchemeName.FLEXPASS,
+        deployment=0.5,
+        workload="websearch",
+        load=0.4,
+        sim_time_ns=3 * MILLIS,
+        size_scale=16.0,
+        seed=3,
+        clos=ClosSpec(n_pods=2, aggs_per_pod=1, tors_per_pod=2, hosts_per_tor=2),
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestQueueFactories:
+    def test_flexpass_three_queues(self):
+        schedules, classifier = flexpass_queue_factory(QueueSettings(wq=0.5))(
+            "p", 10 * GBPS, False
+        )
+        assert len(schedules) == 3
+        assert schedules[0].priority == 0 and schedules[0].pacer is not None
+        assert schedules[1].weight == pytest.approx(0.5)
+        assert classifier[Dscp.CREDIT.value] == 0
+        assert classifier[Dscp.REACTIVE_DATA.value] == 1
+        assert classifier[Dscp.LEGACY.value] == 2
+
+    def test_flexpass_credit_rate_scaled_by_wq(self):
+        for wq in (0.4, 0.6):
+            schedules, _ = flexpass_queue_factory(QueueSettings(wq=wq))(
+                "p", 10 * GBPS, False
+            )
+            rate = schedules[0].pacer.rate_bps
+            assert rate == int(10 * GBPS * wq * 84 / 1584)
+
+    def test_naive_shares_one_data_queue(self):
+        schedules, classifier = naive_queue_factory(QueueSettings())(
+            "p", 10 * GBPS, False
+        )
+        assert len(schedules) == 2
+        data_targets = {classifier[Dscp.PROACTIVE_DATA.value],
+                        classifier[Dscp.LEGACY.value]}
+        assert data_targets == {1}
+
+    def test_owf_weights_match_fraction(self):
+        schedules, _ = owf_queue_factory(QueueSettings(), 0.3)("p", 10 * GBPS, False)
+        assert schedules[1].weight == pytest.approx(0.3)
+        assert schedules[2].weight == pytest.approx(0.7)
+
+    def test_owf_fraction_clamped(self):
+        schedules, _ = owf_queue_factory(QueueSettings(), 0.0)("p", 10 * GBPS, False)
+        assert schedules[1].weight > 0
+
+    def test_unknown_scheme_rejected(self):
+        cfg = tiny_cfg()
+        object.__setattr__(cfg, "scheme", "bogus")
+        with pytest.raises(ValueError):
+            make_scheme_setup(cfg)
+
+
+class TestBuildFlowSpecs:
+    def test_groups_assigned_by_deployment(self):
+        cfg = tiny_cfg(deployment=0.5)
+        sim = Simulator()
+        setup = make_scheme_setup(cfg)
+        clos = build_clos(sim, setup.queue_factory, cfg.clos)
+        specs, plan = build_flow_specs(cfg, clos, RngRegistry(cfg.seed))
+        assert specs
+        groups = {s.group for s in specs}
+        assert groups == {"new", "legacy"}
+        for s in specs:
+            assert s.group == plan.flow_group(s.src, s.dst)
+
+    def test_dctcp_scheme_all_legacy(self):
+        cfg = tiny_cfg(scheme=SchemeName.DCTCP, deployment=1.0)
+        sim = Simulator()
+        setup = make_scheme_setup(cfg)
+        clos = build_clos(sim, setup.queue_factory, cfg.clos)
+        specs, _ = build_flow_specs(cfg, clos, RngRegistry(cfg.seed))
+        assert all(s.group == "legacy" for s in specs)
+
+    def test_foreground_flows_tagged(self):
+        cfg = tiny_cfg(foreground_fraction=0.1, sim_time_ns=10 * MILLIS)
+        sim = Simulator()
+        setup = make_scheme_setup(cfg)
+        clos = build_clos(sim, setup.queue_factory, cfg.clos)
+        specs, _ = build_flow_specs(cfg, clos, RngRegistry(cfg.seed))
+        roles = {s.role for s in specs}
+        assert roles == {"bg", "fg"}
+        assert all(s.size_bytes == cfg.foreground_request_bytes
+                   for s in specs if s.role == "fg")
+
+
+class TestRunExperiment:
+    def test_run_produces_records(self):
+        res = run_experiment(tiny_cfg())
+        assert len(res.records) > 20
+        assert res.completed > 0
+        assert res.routing_failures == 0
+        assert res.events_run > 0
+
+    def test_deterministic_given_seed(self):
+        r1 = run_experiment(tiny_cfg(seed=11))
+        r2 = run_experiment(tiny_cfg(seed=11))
+        f1 = [(r.flow_id, r.fct_ns) for r in r1.records]
+        f2 = [(r.flow_id, r.fct_ns) for r in r2.records]
+        assert f1 == f2
+
+    def test_different_seed_different_traffic(self):
+        r1 = run_experiment(tiny_cfg(seed=1))
+        r2 = run_experiment(tiny_cfg(seed=2))
+        assert [(r.flow_id, r.size_bytes) for r in r1.records] != \
+               [(r.flow_id, r.size_bytes) for r in r2.records]
+
+    def test_all_schemes_run(self):
+        for scheme in SchemeName:
+            res = run_experiment(tiny_cfg(scheme=scheme))
+            assert res.completed > 0, scheme
+
+    def test_q1_sampling(self):
+        res = run_experiment(tiny_cfg(scheme=SchemeName.FLEXPASS), sample_q1=True)
+        # p90 can legitimately sit below the mean for heavy-tailed samples;
+        # just require sampling to have produced sane numbers.
+        assert res.q1_avg_kb >= 0.0
+        assert res.q1_p90_kb >= 0.0
+        assert res.q1_avg_red_kb <= res.q1_avg_kb + 1e-9
+
+    def test_fct_filters(self):
+        res = run_experiment(tiny_cfg())
+        s_all = res.fct()
+        s_small = res.fct(small=True)
+        assert s_small.count <= s_all.count
+        new = res.fct(group="new")
+        legacy = res.fct(group="legacy")
+        assert new.count + legacy.count == s_all.count
+
+
+class TestSweep:
+    def test_deployment_sweep_shares_baseline(self):
+        base = tiny_cfg()
+        grid = deployment_sweep(base, schemes=(SchemeName.FLEXPASS,
+                                               SchemeName.NAIVE),
+                                deployments=(0.0, 1.0))
+        assert grid[("flexpass", 0.0)] is grid[("naive", 0.0)]
+        assert len(grid) == 4
+
+    def test_projection_rows(self):
+        base = tiny_cfg()
+        grid = deployment_sweep(base, schemes=(SchemeName.FLEXPASS,),
+                                deployments=(0.0, 1.0))
+        rows10 = fig10_rows(grid)
+        rows12 = fig12_rows(grid)
+        assert len(rows10) == len(rows12) == 2
+
+    def test_default_sweep_config_overridable(self):
+        cfg = default_sweep_config(load=0.7, seed=9)
+        assert cfg.load == 0.7
+        assert cfg.seed == 9
+
+    def test_sweepcell_from_result(self):
+        res = run_experiment(tiny_cfg())
+        cell = SweepCell.from_result(res)
+        assert cell.flows == len(res.records)
+        assert cell.scheme == "flexpass"

@@ -1,0 +1,65 @@
+"""Fast smoke tests for the per-figure harness (tiny durations).
+
+The benchmarks run these at meaningful scale; here we only verify the
+plumbing: scenarios build, run, and produce well-formed series.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    ThroughputFigure,
+    fig01a_expresspass_vs_dctcp,
+    fig01b_homa_vs_dctcp,
+    fig07_subflow_throughput,
+    fig08_incast,
+    fig09_coexistence,
+)
+
+
+class TestThroughputFigureMath:
+    def test_share_sums_to_one(self):
+        fig = ThroughputFigure("t", 1.0, {"a": [5.0, 5.0], "b": [5.0, 5.0]}, 10.0)
+        assert fig.share("a") + fig.share("b") == pytest.approx(1.0)
+
+    def test_empty_series_share_zero(self):
+        fig = ThroughputFigure("t", 1.0, {"a": [0.0], "b": [0.0]}, 10.0)
+        assert fig.share("a") == 0.0
+
+    def test_rows_cover_all_categories(self):
+        fig = ThroughputFigure("t", 1.0, {"x": [1.0], "y": [2.0]}, 10.0)
+        assert [r[0] for r in fig.rows()] == ["x", "y"]
+
+
+class TestFigureScenarios:
+    def test_fig01a_runs(self):
+        fig = fig01a_expresspass_vs_dctcp(duration_ms=5, flow_mb=10)
+        assert set(fig.series) == {"dctcp", "expresspass"}
+        assert all(len(s) == 5 for s in fig.series.values())
+        assert fig.share("expresspass") > fig.share("dctcp")
+
+    def test_fig01b_runs(self):
+        fig = fig01b_homa_vs_dctcp(duration_ms=5, n_each=4, flow_mb=2)
+        assert set(fig.series) == {"dctcp", "homa"}
+
+    @pytest.mark.parametrize("scenario", ["one_flexpass", "two_flexpass",
+                                          "dctcp_vs_flexpass"])
+    def test_fig07_scenarios_run(self, scenario):
+        fig = fig07_subflow_throughput(scenario, duration_ms=5)
+        assert "proactive" in fig.series
+        total_share = sum(fig.share(c) for c in fig.series)
+        assert total_share == pytest.approx(1.0)
+
+    def test_fig07_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            fig07_subflow_throughput("bogus")
+
+    def test_fig08_structure(self):
+        fig = fig08_incast(n_flows_list=(8,), response_kb=16)
+        assert fig.n_flows == [8]
+        for scheme in ("dctcp", "expresspass", "flexpass"):
+            assert len(fig.tail_fct_ms[scheme]) == 1
+            assert fig.tail_fct_ms[scheme][0] > 0
+
+    def test_fig09_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            fig09_coexistence("bogus")

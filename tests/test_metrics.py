@@ -1,0 +1,186 @@
+"""Unit tests for FCT summaries, throughput monitoring, queue sampling."""
+
+import math
+
+import pytest
+
+from repro.metrics.fct import FctSummary, FlowRecord, completion_ratio, summarize
+from repro.metrics.queueing import QueueSampler
+from repro.metrics.summary import format_table
+from repro.metrics.throughput import ThroughputMonitor, starvation_fraction
+from repro.net.packet import Dscp, Packet, PacketKind
+from repro.net.queues import PacketQueue, QueueConfig
+from repro.net.topology import DumbbellSpec, build_dumbbell
+from repro.sim.engine import Simulator
+from repro.sim.units import KB, MILLIS
+from repro.transports.base import FlowSpec, FlowStats
+
+from tests.test_net_port_topology import single_queue_factory
+
+
+def rec(fid=1, size=10_000, fct_ms=1.0, group="legacy", role="bg", **kw):
+    return FlowRecord(
+        flow_id=fid, scheme="dctcp", group=group, role=role,
+        size_bytes=size, start_ns=0,
+        fct_ns=int(fct_ms * 1e6) if fct_ms is not None else -1, **kw,
+    )
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        records = [rec(i, fct_ms=float(i + 1)) for i in range(100)]
+        s = summarize(records)
+        assert s.count == 100
+        assert s.avg_ms == pytest.approx(50.5)
+        assert s.p99_ms == pytest.approx(99.01, rel=0.01)
+        assert s.max_ms == 100.0
+
+    def test_small_cutoff_filters(self):
+        records = [rec(1, size=50 * KB, fct_ms=1.0),
+                   rec(2, size=200 * KB, fct_ms=9.0)]
+        s = summarize(records, small_cutoff_bytes=100 * KB)
+        assert s.count == 1
+        assert s.avg_ms == 1.0
+
+    def test_group_and_role_filters(self):
+        records = [rec(1, group="new", fct_ms=1.0),
+                   rec(2, group="legacy", fct_ms=2.0),
+                   rec(3, group="new", role="fg", fct_ms=3.0)]
+        assert summarize(records, group="new").count == 2
+        assert summarize(records, group="new", role="fg").count == 1
+        assert summarize(records, group="legacy").avg_ms == 2.0
+
+    def test_censored_flows_excluded(self):
+        records = [rec(1, fct_ms=1.0), rec(2, fct_ms=None)]
+        s = summarize(records)
+        assert s.count == 1
+        assert completion_ratio(records) == 0.5
+
+    def test_empty_is_nan(self):
+        s = summarize([])
+        assert s.count == 0
+        assert math.isnan(s.avg_ms)
+
+    def test_from_flow_requires_stats(self):
+        sim = Simulator()
+        db = build_dumbbell(sim, single_queue_factory, DumbbellSpec(n_pairs=1))
+        spec = FlowSpec(9, db.senders[0], db.receivers[0], 5000, 0,
+                        scheme="x", group="new")
+        stats = FlowStats(start_ns=10, complete_ns=1010, timeouts=2)
+        r = FlowRecord.from_flow(spec, stats)
+        assert r.fct_ns == 1000
+        assert r.timeouts == 2
+        assert r.completed
+        censored = FlowRecord.from_flow(spec, FlowStats(start_ns=10))
+        assert not censored.completed
+
+
+class TestThroughputMonitor:
+    def _port_with_traffic(self):
+        sim = Simulator()
+        db = build_dumbbell(sim, single_queue_factory, DumbbellSpec(n_pairs=1))
+
+        def classify(pkt):
+            return "a" if pkt.flow_id == 1 else "b"
+
+        mon = ThroughputMonitor(db.bottleneck, classify, bin_ns=1 * MILLIS)
+        return sim, db, mon
+
+    def test_bins_accumulate_bytes(self):
+        sim, db, mon = self._port_with_traffic()
+        for i in range(10):
+            db.senders[0].send(Packet(PacketKind.DATA, 1, db.senders[0].id,
+                                      db.receivers[0].id, 1000, dscp=Dscp.LEGACY))
+        sim.run()
+        assert mon.total_bytes("a") == 10_000
+
+    def test_series_length_matches_horizon(self):
+        sim, db, mon = self._port_with_traffic()
+        db.senders[0].send(Packet(PacketKind.DATA, 1, db.senders[0].id,
+                                  db.receivers[0].id, 1000, dscp=Dscp.LEGACY))
+        sim.run()
+        series = mon.series_gbps("a", 5 * MILLIS)
+        assert len(series) == 5
+        assert series[0] > 0
+        assert all(v == 0 for v in series[1:])
+
+    def test_classifier_none_ignored(self):
+        sim = Simulator()
+        db = build_dumbbell(sim, single_queue_factory, DumbbellSpec(n_pairs=1))
+        mon = ThroughputMonitor(db.bottleneck, lambda pkt: None)
+        db.senders[0].send(Packet(PacketKind.DATA, 1, db.senders[0].id,
+                                  db.receivers[0].id, 1000, dscp=Dscp.LEGACY))
+        sim.run()
+        assert mon.categories() == []
+
+    def test_invalid_bin(self):
+        sim = Simulator()
+        db = build_dumbbell(sim, single_queue_factory, DumbbellSpec(n_pairs=1))
+        with pytest.raises(ValueError):
+            ThroughputMonitor(db.bottleneck, lambda p: "x", bin_ns=0)
+
+
+class TestStarvationFraction:
+    def test_all_above_threshold(self):
+        assert starvation_fraction([5.0] * 10, 10.0) == 0.0
+
+    def test_all_below(self):
+        assert starvation_fraction([1.0] * 10, 10.0) == 1.0
+
+    def test_active_window_clipping(self):
+        # idle head/tail bins are not starvation
+        series = [0, 0, 5.0, 1.0, 5.0, 0, 0]
+        assert starvation_fraction(series, 10.0) == pytest.approx(1 / 3)
+
+    def test_without_clipping(self):
+        series = [0, 0, 5.0, 1.0]
+        assert starvation_fraction(series, 10.0, active_only=False) == 0.75
+
+    def test_empty(self):
+        assert starvation_fraction([], 10.0) == 0.0
+
+    def test_all_zero_is_fully_starved(self):
+        assert starvation_fraction([0.0] * 5, 10.0) == 1.0
+
+
+class TestQueueSampler:
+    def test_samples_on_period(self):
+        sim = Simulator()
+        q = PacketQueue(QueueConfig())
+        sampler = QueueSampler(sim, q, period_ns=1 * MILLIS, until_ns=5 * MILLIS)
+        q.push(Packet(PacketKind.DATA, 1, 0, 1, 3000, dscp=Dscp.LEGACY))
+        sim.run(until=10 * MILLIS)
+        assert len(sampler.samples_bytes) == 5
+        assert sampler.avg_kb() == pytest.approx(3.0)
+        assert sampler.max_kb() == pytest.approx(3.0)
+
+    def test_red_bytes_tracked(self):
+        from repro.net.packet import Color
+
+        sim = Simulator()
+        q = PacketQueue(QueueConfig())
+        sampler = QueueSampler(sim, q, period_ns=MILLIS, until_ns=2 * MILLIS)
+        q.push(Packet(PacketKind.DATA, 1, 0, 1, 2000, dscp=Dscp.LEGACY,
+                      color=Color.RED))
+        sim.run(until=5 * MILLIS)
+        assert sampler.avg_red_kb() == pytest.approx(2.0)
+        assert sampler.p90_red_kb() == pytest.approx(2.0)
+
+    def test_invalid_period(self):
+        sim = Simulator()
+        q = PacketQueue(QueueConfig())
+        with pytest.raises(ValueError):
+            QueueSampler(sim, q, period_ns=0)
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        out = format_table(("name", "value"), [("a", 1.23456), ("long-name", 7)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in out
+        assert "long-name" in out
+
+    def test_empty_rows(self):
+        out = format_table(("h1",), [])
+        assert "h1" in out

@@ -1,0 +1,122 @@
+"""Unit tests for shared-buffer management and ECMP routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.buffering import SharedBuffer, UnlimitedBuffer
+from repro.net.routing import compute_next_hops, ecmp_index
+
+
+class TestSharedBuffer:
+    def test_dynamic_threshold_shrinks_as_buffer_fills(self):
+        buf = SharedBuffer(10_000, alpha=0.25)
+        assert buf.threshold() == 2500
+        assert buf.try_admit(0, 2000)
+        assert buf.threshold() == 2000  # 0.25 * 8000
+
+    def test_queue_over_threshold_rejected(self):
+        buf = SharedBuffer(10_000, alpha=0.25)
+        # queue already holds 2400; threshold is 2500 -> 200-byte pkt rejected
+        buf.used = 2400
+        assert not buf.try_admit(2400, 200)
+        assert buf.drops == 1
+
+    def test_hard_capacity_enforced(self):
+        buf = SharedBuffer(1000, alpha=10.0)
+        assert buf.try_admit(0, 900)
+        assert not buf.try_admit(0, 200)
+
+    def test_release_returns_bytes(self):
+        buf = SharedBuffer(1000, alpha=1.0)
+        buf.try_admit(0, 500)
+        buf.release(500)
+        assert buf.used == 0
+
+    def test_release_below_zero_raises(self):
+        buf = SharedBuffer(1000)
+        with pytest.raises(RuntimeError):
+            buf.release(1)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            SharedBuffer(0)
+        with pytest.raises(ValueError):
+            SharedBuffer(100, alpha=0)
+
+    @given(st.lists(st.integers(64, 1584), max_size=200))
+    def test_property_used_never_exceeds_capacity(self, sizes):
+        buf = SharedBuffer(20_000, alpha=0.5)
+        admitted = []
+        for s in sizes:
+            if buf.try_admit(0, s):
+                admitted.append(s)
+            assert 0 <= buf.used <= buf.capacity
+        for s in admitted:
+            buf.release(s)
+        assert buf.used == 0
+
+    def test_unlimited_buffer_always_admits(self):
+        buf = UnlimitedBuffer()
+        assert buf.try_admit(10**12, 10**9)  # any occupancy, any size
+        assert buf.used == 10**9
+        buf.release(10**9)
+        assert buf.used == 0
+
+
+class TestRouting:
+    def _diamond(self):
+        #    1
+        #  /   \
+        # 0     3 -- 4(host)
+        #  \   /
+        #    2
+        return {0: [1, 2], 1: [0, 3], 2: [0, 3], 3: [1, 2, 4], 4: [3]}
+
+    def test_equal_cost_paths_found(self):
+        nh = compute_next_hops(self._diamond(), destinations=[4])
+        assert nh[0][4] == (1, 2)
+        assert nh[1][4] == (3,)
+        assert nh[3][4] == (4,)
+
+    def test_no_route_to_self(self):
+        nh = compute_next_hops(self._diamond(), destinations=[4])
+        assert 4 not in nh[4]
+
+    def test_line_topology(self):
+        adj = {0: [1], 1: [0, 2], 2: [1]}
+        nh = compute_next_hops(adj, destinations=[0, 2])
+        assert nh[0][2] == (1,)
+        assert nh[1][0] == (0,)
+        assert nh[1][2] == (2,)
+
+    def test_unreachable_destination_omitted(self):
+        adj = {0: [1], 1: [0], 2: []}
+        nh = compute_next_hops(adj, destinations=[2])
+        assert 2 not in nh[0]
+
+
+class TestEcmpHash:
+    def test_symmetric_in_endpoints(self):
+        """Required for ExpressPass: reverse-path credits hash like data."""
+        for flow in range(50):
+            assert ecmp_index(flow, 3, 9, 4) == ecmp_index(flow, 9, 3, 4)
+
+    def test_deterministic(self):
+        assert ecmp_index(7, 1, 2, 8) == ecmp_index(7, 1, 2, 8)
+
+    def test_single_choice(self):
+        assert ecmp_index(123, 1, 2, 1) == 0
+
+    def test_zero_choices_raises(self):
+        with pytest.raises(ValueError):
+            ecmp_index(1, 1, 2, 0)
+
+    def test_spreads_flows(self):
+        idxs = {ecmp_index(f, 1, 2, 4) for f in range(100)}
+        assert idxs == {0, 1, 2, 3}
+
+    @given(st.integers(0, 1 << 30), st.integers(0, 500), st.integers(0, 500), st.integers(1, 16))
+    def test_property_in_range_and_symmetric(self, flow, a, b, n):
+        i = ecmp_index(flow, a, b, n)
+        assert 0 <= i < n
+        assert i == ecmp_index(flow, b, a, n)

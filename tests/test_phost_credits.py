@@ -1,0 +1,145 @@
+"""Tests for the pHost-style per-host credit allocator (§4.3 extensibility)."""
+
+import pytest
+
+from repro.core.flexpass import FlexPassParams, FlexPassReceiver, FlexPassSender
+from repro.experiments.config import QueueSettings
+from repro.experiments.scenarios import flexpass_queue_factory
+from repro.net.packet import PacketKind
+from repro.net.topology import DumbbellSpec, StarSpec, build_dumbbell, build_star
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, KB, MB, MILLIS
+from repro.transports.base import FlowSpec, FlowStats
+from repro.transports.credit_feedback import CREDIT_PER_DATA
+from repro.transports.phost_credits import PHostAllocator, PHostCreditSource
+
+from tests.test_net_port_topology import Recorder
+from tests.util import Completions
+
+
+def phost_params(rate_bps=10 * GBPS, wq=0.5):
+    return FlexPassParams(
+        max_credit_rate_bps=rate_bps * wq * CREDIT_PER_DATA,
+        credit_allocator="phost",
+    )
+
+
+class TestAllocatorUnit:
+    def _setup(self):
+        sim = Simulator()
+        db = build_dumbbell(sim, flexpass_queue_factory(QueueSettings()),
+                            DumbbellSpec(n_pairs=2))
+        return sim, db
+
+    def test_singleton_per_host(self):
+        sim, db = self._setup()
+        a1 = PHostAllocator.for_host(sim, db.receivers[0], 1e9)
+        a2 = PHostAllocator.for_host(sim, db.receivers[0], 1e9)
+        assert a1 is a2
+        a3 = PHostAllocator.for_host(sim, db.receivers[1], 1e9)
+        assert a3 is not a1
+
+    def test_round_robin_across_flows(self):
+        # Rate kept under the fabric's wq-scaled credit limiter (~265 Mbps
+        # on the bottleneck) so no credits drop and RR equality is exact.
+        sim, db = self._setup()
+        alloc = PHostAllocator.for_host(sim, db.receivers[0], 200e6)
+        recs = {}
+        for fid, sender in ((1, db.senders[0]), (2, db.senders[1])):
+            stats = FlowStats()
+            alloc.register(fid, sender.id, stats)
+            rec = Recorder()
+            sender.register_sender(fid, rec)
+            recs[fid] = rec
+        sim.run(until=2 * MILLIS)
+        c1 = sum(1 for p in recs[1].packets if p.kind == PacketKind.CREDIT)
+        c2 = sum(1 for p in recs[2].packets if p.kind == PacketKind.CREDIT)
+        assert c1 > 0 and c2 > 0
+        assert abs(c1 - c2) <= 2  # strict round robin
+
+    def test_aggregate_rate_respected(self):
+        """Two flows share ONE pacer: total credits match the host rate,
+        not 2x (the over-issue ExpressPass needs feedback to fix)."""
+        sim, db = self._setup()
+        alloc = PHostAllocator.for_host(sim, db.receivers[0], 200e6)
+        for fid, sender in ((1, db.senders[0]), (2, db.senders[1])):
+            alloc.register(fid, sender.id, FlowStats())
+            sender.register_sender(fid, Recorder())
+        sim.run(until=4 * MILLIS)
+        expected = 200e6 * 4e-3 / (84 * 8)
+        assert alloc.tokens_sent <= expected * 1.05
+
+    def test_unregister_stops_flow(self):
+        sim, db = self._setup()
+        alloc = PHostAllocator.for_host(sim, db.receivers[0], 200e6)
+        rec = Recorder()
+        db.senders[0].register_sender(1, rec)
+        alloc.register(1, db.senders[0].id, FlowStats())
+        sim.run(until=1 * MILLIS)
+        alloc.unregister(1)
+        sim.run(until=2 * MILLIS)  # drain credits already in flight
+        n = len(rec.packets)
+        sim.run(until=4 * MILLIS)
+        assert len(rec.packets) == n
+        assert sim.pending() == 0  # allocator timer cancelled
+
+    def test_duplicate_registration_rejected(self):
+        sim, db = self._setup()
+        alloc = PHostAllocator.for_host(sim, db.receivers[0], 1e9)
+        alloc.register(1, db.senders[0].id, FlowStats())
+        with pytest.raises(ValueError):
+            alloc.register(1, db.senders[0].id, FlowStats())
+
+    def test_invalid_rate(self):
+        sim, db = self._setup()
+        with pytest.raises(ValueError):
+            PHostAllocator(sim, db.receivers[0], 0)
+
+
+class TestFlexPassOverPHost:
+    def test_flow_completes(self):
+        sim = Simulator()
+        db = build_dumbbell(sim, flexpass_queue_factory(QueueSettings()),
+                            DumbbellSpec(n_pairs=1))
+        done = Completions()
+        spec = FlowSpec(1, db.senders[0], db.receivers[0], 2 * MB, 0,
+                        scheme="flexpass", group="new")
+        stats = FlowStats()
+        FlexPassReceiver(sim, spec, stats, phost_params(), on_complete=done)
+        sender = FlexPassSender(sim, spec, stats, phost_params())
+        sim.at(0, sender.start)
+        sim.run(until=60 * MILLIS)
+        assert done.flow_ids == {1}
+        assert stats.delivered_bytes == 2 * MB
+        assert stats.proactive_bytes > 0
+
+    def test_incast_fair_tokens_zero_timeouts(self):
+        """The per-host allocator natively serializes incast credits."""
+        sim = Simulator()
+        star = build_star(sim, flexpass_queue_factory(QueueSettings()),
+                          StarSpec(n_hosts=9, buffer_bytes=2 * MB))
+        done = Completions()
+        receiver = star.hosts[0]
+        all_stats = []
+        for k in range(32):
+            src = star.hosts[1:][k % 8]
+            spec = FlowSpec(k + 1, src, receiver, 64 * KB, 0,
+                            scheme="flexpass", group="new")
+            st = FlowStats()
+            FlexPassReceiver(sim, spec, st, phost_params())
+            sender = FlexPassSender(sim, spec, st, phost_params())
+            sim.at(0, sender.start)
+            all_stats.append(st)
+        sim.run(until=300 * MILLIS)
+        assert all(s.completed for s in all_stats)
+        assert sum(s.timeouts for s in all_stats) == 0
+
+    def test_unknown_allocator_rejected(self):
+        sim = Simulator()
+        db = build_dumbbell(sim, flexpass_queue_factory(QueueSettings()),
+                            DumbbellSpec(n_pairs=1))
+        spec = FlowSpec(1, db.senders[0], db.receivers[0], 10 * KB, 0,
+                        scheme="flexpass", group="new")
+        params = FlexPassParams(credit_allocator="dcpim")
+        with pytest.raises(ValueError):
+            FlexPassReceiver(sim, spec, FlowStats(), params)

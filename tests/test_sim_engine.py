@@ -1,0 +1,166 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.at(30, order.append, "c")
+    sim.at(10, order.append, "a")
+    sim.at(20, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    order = []
+    for i in range(5):
+        sim.at(100, order.append, i)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_after_is_relative_to_now():
+    sim = Simulator()
+    seen = []
+
+    def later():
+        sim.after(5, lambda: seen.append(sim.now))
+
+    sim.at(10, later)
+    sim.run()
+    assert seen == [15]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.at(10, fired.append, "no")
+    sim.at(5, handle.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.at(10, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+    assert sim.events_run == 0
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.at(10, fired.append, 10)
+    sim.at(50, fired.append, 50)
+    sim.run(until=20)
+    assert fired == [10]
+    assert sim.now == 20  # clock advances to the horizon
+    sim.run(until=60)
+    assert fired == [10, 50]
+
+
+def test_run_until_includes_events_at_horizon():
+    sim = Simulator()
+    fired = []
+    sim.at(20, fired.append, 20)
+    sim.run(until=20)
+    assert fired == [20]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.at(10, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.after(-1, lambda: None)
+
+
+def test_call_soon_runs_after_current_event():
+    sim = Simulator()
+    order = []
+
+    def first():
+        sim.call_soon(order.append, "soon")
+        order.append("first")
+
+    sim.at(10, first)
+    sim.at(10, order.append, "second")
+    sim.run()
+    # call_soon lands at t=10 but behind the already-queued same-time event.
+    assert order == ["first", "second", "soon"]
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    for i in range(10):
+        sim.at(i, lambda: None)
+    ran = sim.run(max_events=3)
+    assert ran == 3
+    assert sim.pending() == 7
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    h = sim.at(5, lambda: None)
+    sim.at(9, lambda: None)
+    h.cancel()
+    assert sim.peek_time() == 9
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    ticks = []
+
+    def tick(n):
+        ticks.append(sim.now)
+        if n > 0:
+            sim.after(10, tick, n - 1)
+
+    sim.at(0, tick, 3)
+    sim.run()
+    assert ticks == [0, 10, 20, 30]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200))
+def test_property_arbitrary_schedules_fire_sorted(times):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.at(t, fired.append, t)
+    sim.run()
+    assert fired == sorted(times)
+    assert sim.now == max(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1000), st.booleans()), min_size=1, max_size=100
+    )
+)
+def test_property_cancellation_only_removes_cancelled(events):
+    sim = Simulator()
+    fired = []
+    expected = []
+    for t, keep in events:
+        h = sim.at(t, fired.append, t)
+        if keep:
+            expected.append(t)
+        else:
+            h.cancel()
+    sim.run()
+    assert fired == sorted(expected)

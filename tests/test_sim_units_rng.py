@@ -1,0 +1,82 @@
+"""Unit tests for unit conversions and deterministic RNG streams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import RngRegistry
+from repro.sim.units import (
+    GBPS,
+    MBPS,
+    SECONDS,
+    bits_to_bytes,
+    bytes_to_bits,
+    rate_to_bytes_per_ns,
+    tx_time_ns,
+)
+
+
+class TestTxTime:
+    def test_known_value(self):
+        # 1250 bytes at 10 Gbps = 10000 bits / 10 bits-per-ns = 1000 ns
+        assert tx_time_ns(1250, 10 * GBPS) == 1000
+
+    def test_rounds_up(self):
+        # 1 byte at 10 Gbps = 0.8 ns -> 1 ns
+        assert tx_time_ns(1, 10 * GBPS) == 1
+
+    def test_zero_bytes_is_zero(self):
+        assert tx_time_ns(0, GBPS) == 0
+
+    def test_nonpositive_rate_raises(self):
+        with pytest.raises(ValueError):
+            tx_time_ns(100, 0)
+
+    @given(st.integers(1, 1 << 20), st.integers(1, 400 * GBPS))
+    def test_property_never_early(self, nbytes, rate):
+        t = tx_time_ns(nbytes, rate)
+        # The wire must have carried at least nbytes*8 bits by time t.
+        assert t * rate >= nbytes * 8 * SECONDS - rate  # within one ns quantum
+        assert (t - 1) * rate < nbytes * 8 * SECONDS
+
+
+def test_bits_bytes_roundtrip():
+    assert bytes_to_bits(100) == 800
+    assert bits_to_bytes(800) == 100
+    assert bits_to_bytes(801) == 101  # rounds up
+
+
+def test_rate_to_bytes_per_ns():
+    assert rate_to_bytes_per_ns(8 * GBPS) == pytest.approx(1.0)
+    assert rate_to_bytes_per_ns(80 * MBPS) == pytest.approx(0.01)
+
+
+class TestRngRegistry:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(seed=42).stream("flows")
+        b = RngRegistry(seed=42).stream("flows")
+        assert list(a.integers(0, 1 << 30, 10)) == list(b.integers(0, 1 << 30, 10))
+
+    def test_different_names_are_independent(self):
+        reg = RngRegistry(seed=42)
+        a = list(reg.stream("flows").integers(0, 1 << 30, 10))
+        b = list(reg.stream("sizes").integers(0, 1 << 30, 10))
+        assert a != b
+
+    def test_stream_is_cached(self):
+        reg = RngRegistry(seed=1)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_adding_streams_does_not_perturb_existing(self):
+        reg1 = RngRegistry(seed=7)
+        first = list(reg1.stream("a").integers(0, 100, 5))
+        reg2 = RngRegistry(seed=7)
+        reg2.stream("zzz")  # extra stream created first
+        second = list(reg2.stream("a").integers(0, 100, 5))
+        assert first == second
+
+    def test_fork_changes_streams(self):
+        reg = RngRegistry(seed=7)
+        forked = reg.fork(1)
+        a = list(reg.stream("a").integers(0, 1 << 30, 5))
+        b = list(forked.stream("a").integers(0, 1 << 30, 5))
+        assert a != b

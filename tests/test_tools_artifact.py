@@ -1,0 +1,92 @@
+"""Tests for the artifact-style tools (run_simulations / generate_figure)."""
+
+import csv
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.config import SchemeName
+from repro.experiments.parallel import run_many
+from repro.experiments.sweep import default_sweep_config
+from repro.net.topology import ClosSpec
+from repro.sim.units import MILLIS
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_tool(name):
+    path = os.path.join(REPO, "tools", f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestParallelRunner:
+    def _cfgs(self, n=2):
+        base = default_sweep_config(
+            sim_time_ns=2 * MILLIS, size_scale=16.0,
+            clos=ClosSpec(n_pods=2, aggs_per_pod=1, tors_per_pod=2,
+                          hosts_per_tor=2),
+        )
+        return [base.with_(scheme=SchemeName.FLEXPASS, deployment=d, seed=i)
+                for i, d in enumerate([0.5] * n)]
+
+    def test_serial_path(self):
+        results = run_many(self._cfgs(2), processes=1)
+        assert len(results) == 2
+        assert all(r.completed > 0 for r in results)
+
+    def test_results_match_direct_execution(self):
+        from repro.experiments.runner import run_experiment
+
+        cfgs = self._cfgs(1)
+        direct = run_experiment(cfgs[0])
+        pooled = run_many(cfgs, processes=1)[0]
+        assert [(r.flow_id, r.fct_ns) for r in direct.records] == \
+               [(r.flow_id, r.fct_ns) for r in pooled.records]
+
+
+class TestArtifactGrid:
+    def test_grid_covers_all_experiments(self):
+        tool = _load_tool("run_simulations")
+        base = default_sweep_config()
+        grid = tool.build_grid(base)
+        ids = [eid for eid, _ in grid]
+        assert len(ids) == len(set(ids))
+        # E1: 4 schemes x 4 nonzero points + 1 shared baseline
+        assert sum(1 for i in ids if i.startswith("e1_")) == 17
+        # E2: 2 schemes x 4 points + baseline
+        assert sum(1 for i in ids if i.startswith("e2_")) == 9
+        # E3: 3 loads x (2 schemes x 4 points + baseline)
+        assert sum(1 for i in ids if i.startswith("e3_")) == 27
+
+    def test_end_to_end_artifact_flow(self, tmp_path):
+        """run_simulations --only e1_flexpass_100 then generate_figure."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO, "src")
+        out = tmp_path / "results"
+        run = subprocess.run(
+            [sys.executable, os.path.join(REPO, "tools", "run_simulations.py"),
+             "--out", str(out), "--ms", "2", "--size-scale", "16",
+             "--only", "e1_flexpass_100", "e1_dctcp_000"],
+            capture_output=True, text=True, env=env, timeout=600,
+        )
+        assert run.returncode == 0, run.stderr
+        assert (out / "index.csv").exists()
+        assert (out / "fct_e1_flexpass_100.csv").exists()
+        with open(out / "fct_e1_flexpass_100.csv") as f:
+            rows = list(csv.DictReader(f))
+        assert rows and all("fct_ns" in r for r in rows)
+
+        gen = subprocess.run(
+            [sys.executable, os.path.join(REPO, "tools", "generate_figure.py"),
+             "--results", str(out)],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert gen.returncode == 0, gen.stderr
+        assert (out / "fig10.csv").exists()
+        assert "fig10" in gen.stdout

@@ -1,0 +1,124 @@
+"""Tests for the packet tracer, including path/symmetry assertions."""
+
+from repro.core.flexpass import FlexPassParams, FlexPassReceiver, FlexPassSender
+from repro.experiments.config import QueueSettings
+from repro.experiments.scenarios import flexpass_queue_factory
+from repro.metrics.tracing import PacketTracer
+from repro.net.packet import PacketKind
+from repro.net.topology import ClosSpec, DumbbellSpec, build_clos, build_dumbbell
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, KB, MILLIS
+from repro.transports.base import FlowSpec, FlowStats
+from repro.transports.credit_feedback import CREDIT_PER_DATA
+from repro.transports.dctcp import DctcpParams, DctcpReceiver, DctcpSender
+
+from tests.test_net_port_topology import single_queue_factory
+from tests.util import Completions
+
+
+def run_traced_flexpass(size=100 * KB):
+    sim = Simulator()
+    db = build_dumbbell(sim, flexpass_queue_factory(QueueSettings(wq=0.5)),
+                        DumbbellSpec(n_pairs=1))
+    tracer = PacketTracer(db.topo.nodes.values(), flow_ids=[1])
+    params = FlexPassParams(max_credit_rate_bps=10 * GBPS * 0.5 * CREDIT_PER_DATA)
+    spec = FlowSpec(1, db.senders[0], db.receivers[0], size, 0,
+                    scheme="flexpass", group="new")
+    stats = FlowStats()
+    FlexPassReceiver(sim, spec, stats, params)
+    sender = FlexPassSender(sim, spec, stats, params)
+    sim.at(0, sender.start)
+    sim.run(until=60 * MILLIS)
+    return db, tracer, stats
+
+
+class TestTracer:
+    def test_records_all_packet_kinds(self):
+        _, tracer, _ = run_traced_flexpass()
+        kinds = {e.kind for e in tracer.events}
+        assert {"DATA", "ACK", "CREDIT", "CREDIT_REQUEST"} <= kinds
+
+    def test_path_of_segment_crosses_fabric(self):
+        db, tracer, _ = run_traced_flexpass()
+        path = tracer.path_of(1, flow_seq=0)
+        # data packet: sender NIC -> swL -> swR (3 transmit events)
+        assert len(path) >= 3
+        assert path[0].startswith("s0->")
+        assert "swL->swR" in path
+
+    def test_flow_filter(self):
+        sim = Simulator()
+        db = build_dumbbell(sim, flexpass_queue_factory(QueueSettings()),
+                            DumbbellSpec(n_pairs=2))
+        tracer = PacketTracer(db.topo.nodes.values(), flow_ids=[2])
+        for fid in (1, 2):
+            spec = FlowSpec(fid, db.senders[fid - 1], db.receivers[fid - 1],
+                            20 * KB, 0, scheme="dctcp")
+            st = FlowStats()
+            DctcpReceiver(sim, spec, st, DctcpParams())
+            s = DctcpSender(sim, spec, st, DctcpParams())
+            sim.at(0, s.start)
+        sim.run(until=20 * MILLIS)
+        assert tracer.events
+        assert all(e.flow_id == 2 for e in tracer.events)
+
+    def test_overflow_guard(self):
+        sim = Simulator()
+        db = build_dumbbell(sim, flexpass_queue_factory(QueueSettings()),
+                            DumbbellSpec(n_pairs=1))
+        tracer = PacketTracer(db.topo.nodes.values(), max_events=5)
+        spec = FlowSpec(1, db.senders[0], db.receivers[0], 50 * KB, 0,
+                        scheme="dctcp")
+        st = FlowStats()
+        DctcpReceiver(sim, spec, st, DctcpParams())
+        s = DctcpSender(sim, spec, st, DctcpParams())
+        sim.at(0, s.start)
+        sim.run(until=20 * MILLIS)
+        assert len(tracer.events) == 5
+        assert tracer.overflowed
+
+    def test_dump_truncates(self):
+        _, tracer, _ = run_traced_flexpass()
+        out = tracer.dump(limit=3)
+        assert "more events" in out
+
+
+class TestPathSymmetry:
+    def test_credits_mirror_data_path_on_clos(self):
+        """ExpressPass's core assumption: a flow's credits traverse the
+        reverse of its data path (symmetric ECMP)."""
+        sim = Simulator()
+        clos = build_clos(
+            sim, flexpass_queue_factory(QueueSettings(wq=0.5)),
+            ClosSpec(n_pods=2, aggs_per_pod=2, tors_per_pod=2, hosts_per_tor=2),
+        )
+        src = clos.racks()[0][0]
+        dst = clos.racks()[-1][0]  # cross-pod: through the core
+        tracer = PacketTracer(clos.topo.nodes.values(), flow_ids=[1])
+        params = FlexPassParams(
+            max_credit_rate_bps=10 * GBPS * 0.5 * CREDIT_PER_DATA)
+        spec = FlowSpec(1, src, dst, 400 * KB, 0, scheme="flexpass",
+                        group="new")
+        stats = FlowStats()
+        FlexPassReceiver(sim, spec, stats, params)
+        sender = FlexPassSender(sim, spec, stats, params)
+        sim.at(0, sender.start)
+        sim.run(until=60 * MILLIS)
+        assert stats.completed
+
+        def hops(events):
+            return {e.port for e in events}
+
+        data_ports = hops(e for e in tracer.events
+                          if e.kind == "DATA" and e.subflow == 0)
+        credit_ports = hops(e for e in tracer.events if e.kind == "CREDIT")
+
+        def reverse(port_name):
+            a, b = port_name.split("->")
+            return f"{b}->{a}"
+
+        # every switch-level data hop has its mirror in the credit path
+        for port in data_ports:
+            assert reverse(port) in credit_ports, (
+                f"credit path missed mirror of {port}: {sorted(credit_ports)}"
+            )

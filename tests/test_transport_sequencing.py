@@ -1,0 +1,165 @@
+"""Unit + property tests for sequence-space bookkeeping."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.transports.sequencing import ReceiveScoreboard, SenderScoreboard
+
+
+class TestReceiveScoreboard:
+    def test_in_order_advances_cum(self):
+        rb = ReceiveScoreboard()
+        for i in range(5):
+            assert rb.add(i)
+        assert rb.cum == 5
+        assert rb.sack() == ()
+
+    def test_out_of_order_fills_holes(self):
+        rb = ReceiveScoreboard()
+        rb.add(0)
+        rb.add(2)
+        rb.add(3)
+        assert rb.cum == 1
+        assert rb.sack() == (2, 3)
+        rb.add(1)
+        assert rb.cum == 4
+        assert rb.sack() == ()
+
+    def test_duplicates_counted_not_double_delivered(self):
+        rb = ReceiveScoreboard()
+        assert rb.add(0)
+        assert not rb.add(0)
+        rb.add(5)
+        assert not rb.add(5)
+        assert rb.duplicates == 2
+        assert rb.received_count() == 2
+
+    def test_sack_reports_highest_when_capped(self):
+        rb = ReceiveScoreboard(sack_limit=3)
+        for seq in (10, 2, 30, 4, 20):
+            rb.add(seq)
+        assert rb.sack() == (10, 20, 30)
+
+    @given(st.lists(st.integers(0, 50), max_size=120))
+    def test_property_cum_is_first_hole(self, seqs):
+        rb = ReceiveScoreboard()
+        seen = set()
+        for s in seqs:
+            rb.add(s)
+            seen.add(s)
+        expected_cum = 0
+        while expected_cum in seen:
+            expected_cum += 1
+        assert rb.cum == expected_cum
+        assert rb.received_count() == len(seen)
+
+
+class TestSenderScoreboard:
+    def test_cumulative_ack_clears_outstanding(self):
+        sb = SenderScoreboard()
+        for i in range(5):
+            sb.on_send(i, 0)
+        acked, lost = sb.on_ack(3, ())
+        assert acked == [0, 1, 2]
+        assert lost == []
+        assert sb.in_flight == 2
+
+    def test_sack_clears_individual(self):
+        sb = SenderScoreboard()
+        for i in range(5):
+            sb.on_send(i, 0)
+        acked, _ = sb.on_ack(0, (2, 4))
+        assert acked == [2, 4]
+        assert sb.in_flight == 3
+
+    def test_dupack_loss_detection(self):
+        sb = SenderScoreboard(dupthresh=3)
+        for i in range(6):
+            sb.on_send(i, 0)
+        # seq 0 is missing; acks with news above it accumulate
+        sb.on_ack(0, (1,))
+        sb.on_ack(0, (2,))
+        _, lost = sb.on_ack(0, (3,))
+        assert lost == [0]
+        assert sb.in_flight == 2  # 4, 5 still out
+
+    def test_cum_past_lost_seq_reports_it_acked(self):
+        """Regression: a seq declared lost then covered by a later
+        cumulative ACK (its retransmission landed) must surface as newly
+        acked, or the sender deadlocks waiting for it forever."""
+        sb = SenderScoreboard(dupthresh=3)
+        for i in range(6):
+            sb.on_send(i, 0)
+        sb.on_ack(0, (1,))
+        sb.on_ack(0, (2,))
+        _, lost = sb.on_ack(0, (3,))
+        assert lost == [0]
+        acked, _ = sb.on_ack(4, ())
+        assert 0 in acked
+        assert sb.is_acked(0)
+
+    def test_sack_of_lost_seq_reports_it_acked(self):
+        sb = SenderScoreboard(dupthresh=1)
+        sb.on_send(0, 0)
+        sb.on_send(1, 0)
+        _, lost = sb.on_ack(0, (1,))
+        assert lost == [0]
+        # the "lost" packet's ack arrives late (spurious detection)
+        acked, _ = sb.on_ack(0, (0,))
+        assert acked == [0]
+
+    def test_duplicate_acks_not_doubly_reported(self):
+        sb = SenderScoreboard()
+        sb.on_send(0, 0)
+        acked1, _ = sb.on_ack(1, ())
+        acked2, _ = sb.on_ack(1, ())
+        assert acked1 == [0]
+        assert acked2 == []
+
+    def test_declare_all_lost(self):
+        sb = SenderScoreboard()
+        for i in range(4):
+            sb.on_send(i, 0)
+        assert sb.declare_all_lost() == [0, 1, 2, 3]
+        assert sb.in_flight == 0
+
+    def test_remove_implicit_ack(self):
+        sb = SenderScoreboard()
+        sb.on_send(7, 0)
+        assert sb.remove(7)
+        assert not sb.remove(7)
+        assert sb.in_flight == 0
+        assert sb.is_acked(7)
+
+    def test_oldest_outstanding(self):
+        sb = SenderScoreboard()
+        assert sb.oldest_outstanding() is None
+        sb.on_send(5, 0)
+        sb.on_send(3, 0)
+        assert sb.oldest_outstanding() == 3
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.lists(st.integers(0, 30), max_size=5)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100)
+    def test_property_no_seq_both_lost_and_outstanding(self, acks):
+        """Whatever ACK stream arrives, a seq is never simultaneously
+        outstanding and reported lost, and ack reports are unique."""
+        sb = SenderScoreboard(dupthresh=3)
+        n = 31
+        for i in range(n):
+            sb.on_send(i, 0)
+        reported_acked = set()
+        reported_lost = set()
+        for cum, sack in acks:
+            acked, lost = sb.on_ack(cum, sack)
+            for s in acked:
+                assert s not in reported_acked, "double-acked"
+                reported_acked.add(s)
+            for s in lost:
+                reported_lost.add(s)
+                assert s not in sb._outstanding
+        for s in reported_acked:
+            assert sb.is_acked(s)

@@ -1,0 +1,225 @@
+"""Unit + property tests for workload generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.topology import ClosSpec, build_clos
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.units import GBPS, KB, MILLIS
+from repro.workloads.arrivals import PoissonTraffic
+from repro.workloads.deployment import DeploymentPlan
+from repro.workloads.distributions import (
+    CACHEFOLLOWER,
+    DATAMINING,
+    HADOOP,
+    WEBSEARCH,
+    EmpiricalCdf,
+    workload_cdf,
+)
+from repro.workloads.incast import IncastTraffic
+
+from tests.test_net_port_topology import single_queue_factory
+
+
+def small_clos(sim=None):
+    return build_clos(sim or Simulator(), single_queue_factory,
+                      ClosSpec(n_pods=2, aggs_per_pod=1, tors_per_pod=2,
+                               hosts_per_tor=2))
+
+
+class TestEmpiricalCdf:
+    def test_samples_within_support(self):
+        rng = np.random.default_rng(1)
+        for cdf in (WEBSEARCH, DATAMINING, CACHEFOLLOWER, HADOOP):
+            lo = cdf._xs[0]
+            hi = cdf._xs[-1]
+            for _ in range(200):
+                s = cdf.sample(rng)
+                assert lo <= s <= hi
+
+    def test_scale_divides_sizes(self):
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        a = WEBSEARCH.sample(rng1, scale=1.0)
+        b = WEBSEARCH.sample(rng2, scale=10.0)
+        assert b == max(1, int(a / 10))
+
+    def test_median_matches_cdf(self):
+        """Empirical median of many samples should sit where CDF=0.5."""
+        rng = np.random.default_rng(3)
+        samples = WEBSEARCH.sample_many(rng, 4000)
+        med = float(np.median(samples))
+        assert 0.35 < WEBSEARCH.fraction_below(med) < 0.65
+
+    def test_mean_is_tail_dominated_for_websearch(self):
+        # >50% of web-search flows are small but the mean is hundreds of kB
+        assert WEBSEARCH.fraction_below(100 * KB) > 0.5
+        assert WEBSEARCH.mean_bytes() > 200 * KB
+
+    def test_datamining_half_single_packet(self):
+        assert DATAMINING.fraction_below(1000) >= 0.49
+
+    def test_mean_scales(self):
+        assert WEBSEARCH.mean_bytes(scale=2.0) == pytest.approx(
+            WEBSEARCH.mean_bytes() / 2.0
+        )
+
+    def test_workload_lookup(self):
+        assert workload_cdf("websearch") is WEBSEARCH
+        with pytest.raises(ValueError):
+            workload_cdf("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(100, 0.0)])  # too few
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(100, 0.0), (50, 1.0)])  # not increasing
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(100, 0.5), (200, 1.0)])  # doesn't start at 0
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(100, 0.0), (200, 0.9)])  # doesn't end at 1
+
+    @given(st.floats(0.001, 0.999))
+    def test_property_inverse_is_monotone(self, u):
+        assert WEBSEARCH._inverse(u) <= WEBSEARCH._inverse(min(u + 0.0005, 1.0))
+
+
+class TestPoissonTraffic:
+    def _traffic(self, load=0.5, sim_ms=20, seed=1):
+        clos = small_clos()
+        rng = RngRegistry(seed).stream("arrivals")
+        return clos, PoissonTraffic(clos.hosts, WEBSEARCH, load, 10 * GBPS,
+                                    sim_ms * MILLIS, rng, size_scale=4.0)
+
+    def test_offered_load_close_to_target(self):
+        clos, traffic = self._traffic(load=0.5, sim_ms=50)
+        flows = traffic.generate()
+        total_bits = sum(f.size_bytes for f in flows) * 8
+        capacity_bits = len(clos.hosts) * 10 * GBPS * 0.05
+        measured = total_bits / capacity_bits
+        assert 0.35 < measured < 0.65
+
+    def test_arrivals_sorted_and_within_horizon(self):
+        _, traffic = self._traffic()
+        flows = traffic.generate()
+        starts = [f.start_ns for f in flows]
+        assert starts == sorted(starts)
+        assert all(0 <= s < 20 * MILLIS for s in starts)
+
+    def test_src_dst_distinct(self):
+        _, traffic = self._traffic()
+        assert all(f.src.id != f.dst.id for f in traffic.generate())
+
+    def test_flow_ids_unique_and_sequential(self):
+        _, traffic = self._traffic()
+        ids = [f.flow_id for f in traffic.generate()]
+        assert ids == list(range(1, len(ids) + 1))
+
+    def test_deterministic_for_seed(self):
+        _, t1 = self._traffic(seed=5)
+        _, t2 = self._traffic(seed=5)
+        f1, f2 = t1.generate(), t2.generate()
+        assert [(f.size_bytes, f.start_ns) for f in f1] == \
+               [(f.size_bytes, f.start_ns) for f in f2]
+
+    def test_invalid_load_raises(self):
+        clos = small_clos()
+        rng = RngRegistry(1).stream("x")
+        with pytest.raises(ValueError):
+            PoissonTraffic(clos.hosts, WEBSEARCH, 0.0, 10 * GBPS, MILLIS, rng)
+        with pytest.raises(ValueError):
+            PoissonTraffic(clos.hosts, WEBSEARCH, 1.0, 10 * GBPS, MILLIS, rng)
+
+    def test_core_load_factor(self):
+        assert PoissonTraffic.core_load_factor(4, 2.0) == pytest.approx(1.5)
+        assert PoissonTraffic.core_load_factor(1, 3.0) == 0.0
+
+
+class TestIncast:
+    def _incast(self, fraction=0.1, sim_ms=50):
+        clos = small_clos()
+        rng = RngRegistry(2).stream("incast")
+        return clos, IncastTraffic(
+            clos.hosts, request_bytes=8 * KB, flows_per_sender=4,
+            background_bytes_per_ns=5.0, foreground_fraction=fraction,
+            sim_time_ns=sim_ms * MILLIS, rng=rng, first_flow_id=1000,
+        )
+
+    def test_event_structure(self):
+        clos, incast = self._incast()
+        flows = incast.generate()
+        assert flows, "expected at least one incast event"
+        by_start = {}
+        for f in flows:
+            by_start.setdefault(f.start_ns, []).append(f)
+        n = len(clos.hosts)
+        for start, batch in by_start.items():
+            # (n-1) senders x 4 flows toward one receiver
+            assert len(batch) == (n - 1) * 4
+            receivers = {f.dst.id for f in batch}
+            assert len(receivers) == 1
+            assert all(f.size_bytes == 8 * KB for f in batch)
+            assert all(f.role == "fg" for f in batch)
+
+    def test_volume_fraction(self):
+        clos, incast = self._incast(fraction=0.1, sim_ms=200)
+        flows = incast.generate()
+        fg_bytes = sum(f.size_bytes for f in flows)
+        bg_bytes = 5.0 * 200 * MILLIS
+        measured = fg_bytes / (fg_bytes + bg_bytes)
+        assert 0.05 < measured < 0.2
+
+    def test_zero_fraction_no_events(self):
+        _, incast = self._incast(fraction=0.0)
+        assert incast.generate() == []
+
+    def test_flow_ids_start_at_offset(self):
+        _, incast = self._incast()
+        flows = incast.generate()
+        assert min(f.flow_id for f in flows) == 1000
+
+
+class TestDeploymentPlan:
+    def _racks(self):
+        return small_clos().racks()
+
+    def test_fraction_zero_nothing_upgraded(self):
+        racks = self._racks()
+        plan = DeploymentPlan(racks, 0.0, np.random.default_rng(1))
+        assert plan.upgraded_hosts == set()
+        assert plan.flow_group(racks[0][0], racks[1][0]) == "legacy"
+
+    def test_fraction_one_everything_upgraded(self):
+        racks = self._racks()
+        plan = DeploymentPlan(racks, 1.0, np.random.default_rng(1))
+        assert plan.flow_group(racks[0][0], racks[-1][0]) == "new"
+
+    def test_rack_granularity(self):
+        racks = self._racks()
+        plan = DeploymentPlan(racks, 0.5, np.random.default_rng(1))
+        for idx, rack in enumerate(racks):
+            states = {plan.is_upgraded(h) for h in rack}
+            assert len(states) == 1, "hosts within a rack must match"
+
+    def test_both_endpoints_required(self):
+        racks = self._racks()
+        plan = DeploymentPlan(racks, 0.5, np.random.default_rng(3))
+        up = [r for r in racks if plan.is_upgraded(r[0])]
+        down = [r for r in racks if not plan.is_upgraded(r[0])]
+        if up and down:
+            assert plan.flow_group(up[0][0], down[0][0]) == "legacy"
+        if len(up) >= 2:
+            assert plan.flow_group(up[0][0], up[1][0]) == "new"
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            DeploymentPlan(self._racks(), 1.5, np.random.default_rng(0))
+
+    @given(st.floats(0.0, 1.0), st.integers(0, 100))
+    @settings(max_examples=30)
+    def test_property_upgraded_rack_count(self, fraction, seed):
+        racks = self._racks()
+        plan = DeploymentPlan(racks, fraction, np.random.default_rng(seed))
+        assert len(plan.upgraded_racks) == int(round(fraction * len(racks)))

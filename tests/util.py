@@ -1,0 +1,62 @@
+"""Shared helpers for transport-level tests."""
+
+from repro.net.packet import Dscp
+from repro.net.queues import PacketQueue, QueueConfig
+from repro.net.ratelimit import TokenBucket
+from repro.net.scheduler import QueueSchedule
+from repro.sim.units import KB
+
+ALL_DSCPS = [d.value for d in Dscp] + [Dscp.HOMA_BASE + p for p in range(8)]
+
+
+def ecn_queue_factory(ecn_kb=65):
+    """Single FIFO with DCTCP-style ECN marking for every traffic class."""
+
+    def factory(name, rate_bps, is_host_nic):
+        q = PacketQueue(QueueConfig(name="data", ecn_threshold_bytes=ecn_kb * KB))
+        classifier = {d: 0 for d in ALL_DSCPS}
+        return [QueueSchedule(q, priority=0, weight=1.0)], classifier
+
+    return factory
+
+
+def expresspass_queue_factory(wq=1.0, ecn_kb=65, credit_ratio=84 / 1584):
+    """Two queues: strict-priority rate-limited credit queue + one data FIFO.
+
+    ``wq`` scales the credit rate limit, as FlexPass does (§4.1); plain
+    ExpressPass uses wq=1.0 (credits sized to the full link).
+    """
+
+    def factory(name, rate_bps, is_host_nic):
+        credit_q = PacketQueue(QueueConfig(name="credit", capacity_bytes=1 * KB))
+        data_q = PacketQueue(QueueConfig(name="data", ecn_threshold_bytes=ecn_kb * KB))
+        pacer = TokenBucket(int(rate_bps * wq * credit_ratio), bucket_bytes=2 * 84)
+        schedules = [
+            QueueSchedule(credit_q, priority=0, weight=1.0, pacer=pacer),
+            QueueSchedule(data_q, priority=1, weight=1.0),
+        ]
+        classifier = {d: 1 for d in ALL_DSCPS}
+        classifier[Dscp.CREDIT.value] = 0
+        return schedules, classifier
+
+    return factory
+
+
+class Completions:
+    """Collects (spec, stats) completion callbacks."""
+
+    def __init__(self):
+        self.records = []
+
+    def __call__(self, spec, stats):
+        self.records.append((spec, stats))
+
+    def fct_ms(self, flow_id):
+        for spec, stats in self.records:
+            if spec.flow_id == flow_id:
+                return stats.fct_ns() / 1e6
+        raise KeyError(flow_id)
+
+    @property
+    def flow_ids(self):
+        return {spec.flow_id for spec, _ in self.records}

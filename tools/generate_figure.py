@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Analyze stored simulation results and emit figure data (Appendix B).
+
+Mirrors the artifact's ``generate_figure.py``: parses the ``fct_*.csv``
+files written by ``run_simulations.py``, computes the paper's metrics
+(99th-percentile FCT of small flows, overall average FCT, per-group splits,
+standard deviations), and writes one ``figNN.csv`` per figure — the same
+series the paper plots — plus a printed summary.
+
+    python tools/generate_figure.py --results results/
+"""
+
+import argparse
+import csv
+import os
+import sys
+from collections import defaultdict
+from typing import Dict, List
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.metrics.summary import format_table  # noqa: E402
+
+SMALL_CUTOFF_DEFAULT = 100_000 / 8  # matches run_simulations' size_scale=8
+
+
+def load_index(results_dir: str) -> List[dict]:
+    with open(os.path.join(results_dir, "index.csv")) as f:
+        return list(csv.DictReader(f))
+
+
+def load_fcts(results_dir: str, experiment: str) -> List[dict]:
+    with open(os.path.join(results_dir, f"fct_{experiment}.csv")) as f:
+        return list(csv.DictReader(f))
+
+
+def metrics(rows: List[dict], small_cutoff: float) -> Dict[str, float]:
+    done = [r for r in rows if int(r["fct_ns"]) >= 0]
+    out: Dict[str, float] = {}
+    if not done:
+        return {"avg_ms": float("nan")}
+    fcts = np.array([int(r["fct_ns"]) for r in done], dtype=float) / 1e6
+    out["avg_ms"] = float(np.mean(fcts))
+    small = [r for r in done if int(r["size_bytes"]) < small_cutoff]
+
+    def p99(sel):
+        if not sel:
+            return float("nan")
+        arr = np.array([int(r["fct_ns"]) for r in sel], dtype=float) / 1e6
+        return float(np.percentile(arr, 99))
+
+    def std(sel):
+        if not sel:
+            return float("nan")
+        arr = np.array([int(r["fct_ns"]) for r in sel], dtype=float) / 1e6
+        return float(np.std(arr))
+
+    out["p99_small_ms"] = p99(small)
+    out["p99_small_legacy_ms"] = p99([r for r in small if r["group"] == "legacy"])
+    out["p99_small_new_ms"] = p99([r for r in small if r["group"] == "new"])
+    out["std_small_legacy_ms"] = std([r for r in small if r["group"] == "legacy"])
+    out["std_small_new_ms"] = std([r for r in small if r["group"] == "new"])
+    out["timeouts"] = sum(int(r["timeouts"]) for r in done)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", default="results")
+    parser.add_argument("--small-cutoff-bytes", type=float,
+                        default=SMALL_CUTOFF_DEFAULT)
+    args = parser.parse_args()
+
+    index = load_index(args.results)
+    cells = {}
+    for row in index:
+        eid = row["experiment"]
+        cells[eid] = dict(row)
+        cells[eid].update(metrics(load_fcts(args.results, eid),
+                                  args.small_cutoff_bytes))
+
+    figures = {
+        "fig10": ("e1_", ["scheme", "deployment", "p99_small_ms", "avg_ms"]),
+        "fig11": ("e2_", ["scheme", "deployment", "p99_small_ms", "avg_ms"]),
+        "fig12": ("e1_", ["scheme", "deployment", "p99_small_legacy_ms",
+                          "p99_small_new_ms"]),
+        "fig13": ("e1_", ["scheme", "deployment", "std_small_legacy_ms",
+                          "std_small_new_ms"]),
+        "fig14": ("e3_", ["scheme", "load", "deployment", "p99_small_ms",
+                          "timeouts"]),
+    }
+    for fig, (prefix, columns) in figures.items():
+        rows = []
+        for eid in sorted(cells):
+            if not eid.startswith(prefix):
+                continue
+            cell = cells[eid]
+            rows.append([cell.get(c, "") for c in columns])
+        if not rows:
+            continue
+        path = os.path.join(args.results, f"{fig}.csv")
+        with open(path, "w", newline="") as f:
+            w = csv.writer(f)
+            w.writerow(columns)
+            w.writerows(rows)
+        print(f"\n== {fig} ({path}) ==")
+        print(format_table(columns, rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

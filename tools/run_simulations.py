@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Run the paper's full simulation grid and store raw results (Appendix B).
+
+Mirrors the artifact's ``run_simulations.py``: enumerates every simulation
+behind Figures 10-14 (deployment % x scheme, mixed traffic, load sweep),
+runs them — parallelized across CPUs — and writes one ``fct_<id>.csv`` per
+experiment into the results directory, plus an ``index.csv`` mapping
+experiment ids to parameters.
+
+    python tools/run_simulations.py --out results/ [--ms 10] [--paper-scale]
+
+``tools/generate_figure.py`` consumes the output.
+"""
+
+import argparse
+import csv
+import os
+import sys
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.config import ExperimentConfig, SchemeName  # noqa: E402
+from repro.experiments.parallel import run_many  # noqa: E402
+from repro.experiments.sweep import default_sweep_config  # noqa: E402
+from repro.net.topology import ClosSpec  # noqa: E402
+from repro.sim.units import MILLIS  # noqa: E402
+
+DEPLOYMENTS = (0.0, 0.25, 0.5, 0.75, 1.0)
+SCHEMES = (SchemeName.DCTCP, SchemeName.NAIVE, SchemeName.OWF,
+           SchemeName.LAYERING, SchemeName.FLEXPASS)
+
+
+def build_grid(base: ExperimentConfig) -> List[Tuple[str, ExperimentConfig]]:
+    """(experiment id, config) for every simulation in Figures 10-14."""
+    grid: List[Tuple[str, ExperimentConfig]] = []
+    nonzero = [d for d in DEPLOYMENTS if d > 0.0]
+    # E1: background-only transition (Figures 10, 12, 13). The 0% point is
+    # scheme-independent (pure DCTCP), so it runs once.
+    grid.append(("e1_dctcp_000", base.with_(scheme=SchemeName.DCTCP,
+                                            deployment=0.0)))
+    for scheme in SCHEMES:
+        if scheme == SchemeName.DCTCP:
+            continue
+        for dep in nonzero:
+            grid.append((
+                f"e1_{scheme.value}_{int(dep * 100):03d}",
+                base.with_(scheme=scheme, deployment=dep),
+            ))
+    # E2: mixed traffic (Figure 11)
+    grid.append(("e2_dctcp_000", base.with_(scheme=SchemeName.DCTCP,
+                                            deployment=0.0,
+                                            foreground_fraction=0.1)))
+    for scheme in (SchemeName.NAIVE, SchemeName.FLEXPASS):
+        for dep in nonzero:
+            grid.append((
+                f"e2_{scheme.value}_{int(dep * 100):03d}",
+                base.with_(scheme=scheme, deployment=dep,
+                           foreground_fraction=0.1),
+            ))
+    # E3: load sweep (Figure 14)
+    for load in (0.1, 0.4, 0.7):
+        tag = f"l{int(load * 100):02d}"
+        grid.append((f"e3_dctcp_{tag}_000",
+                     base.with_(scheme=SchemeName.DCTCP, deployment=0.0,
+                                load=load)))
+        for scheme in (SchemeName.NAIVE, SchemeName.FLEXPASS):
+            for dep in nonzero:
+                grid.append((
+                    f"e3_{scheme.value}_{tag}_{int(dep * 100):03d}",
+                    base.with_(scheme=scheme, deployment=dep, load=load),
+                ))
+    return grid
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results")
+    parser.add_argument("--ms", type=int, default=10)
+    parser.add_argument("--load", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--size-scale", type=float, default=8.0)
+    parser.add_argument("--processes", type=int, default=None)
+    parser.add_argument("--paper-scale", action="store_true")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="run only experiment ids with these prefixes")
+    args = parser.parse_args()
+
+    overrides = dict(load=args.load, sim_time_ns=args.ms * MILLIS,
+                     seed=args.seed, size_scale=args.size_scale)
+    if args.paper_scale:
+        overrides.update(clos=ClosSpec.paper_scale(), size_scale=1.0)
+    base = default_sweep_config(**overrides)
+
+    grid = build_grid(base)
+    if args.only:
+        grid = [(eid, cfg) for eid, cfg in grid
+                if any(eid.startswith(p) for p in args.only)]
+    os.makedirs(args.out, exist_ok=True)
+    print(f"running {len(grid)} simulations "
+          f"({base.clos.n_hosts} hosts, {args.ms} ms each) ...")
+
+    results = run_many([cfg for _, cfg in grid], processes=args.processes)
+
+    index_rows = []
+    for (eid, cfg), res in zip(grid, results):
+        path = os.path.join(args.out, f"fct_{eid}.csv")
+        with open(path, "w", newline="") as f:
+            w = csv.writer(f)
+            w.writerow(["flow_id", "scheme", "group", "role", "size_bytes",
+                        "start_ns", "fct_ns", "timeouts", "retransmissions"])
+            for r in res.records:
+                w.writerow([r.flow_id, r.scheme, r.group, r.role,
+                            r.size_bytes, r.start_ns, r.fct_ns, r.timeouts,
+                            r.retransmissions])
+        index_rows.append([eid, cfg.scheme.value, cfg.deployment, cfg.load,
+                           cfg.foreground_fraction, cfg.workload,
+                           len(res.records), res.completed,
+                           f"{res.wall_seconds:.1f}"])
+        print(f"  {eid}: {res.completed}/{len(res.records)} flows, "
+              f"{res.wall_seconds:.1f}s")
+
+    with open(os.path.join(args.out, "index.csv"), "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["experiment", "scheme", "deployment", "load",
+                    "fg_fraction", "workload", "flows", "completed",
+                    "wall_s"])
+        w.writerows(index_rows)
+    print(f"wrote {len(grid)} result files + index.csv to {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
