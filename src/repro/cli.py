@@ -20,6 +20,7 @@ from typing import List, Optional
 
 from repro.experiments.config import SchemeName
 from repro.experiments.figures import (
+    failure_recovery,
     fig01a_expresspass_vs_dctcp,
     fig01b_homa_vs_dctcp,
     fig07_subflow_throughput,
@@ -39,7 +40,8 @@ from repro.experiments.sweep import (
     print_grid,
     queue_occupancy_study,
 )
-from repro.metrics.summary import print_table
+from repro.faults.plan import FaultPlan, LinkFailureSpec, LinkLossSpec
+from repro.metrics.summary import degraded_title, print_table
 from repro.net.topology import ClosSpec
 from repro.sim.units import MILLIS
 
@@ -99,6 +101,10 @@ def _figure_fig18(base) -> None:
                 [(w, f"{d:+.0%}", p) for w, d, p in points])
 
 
+def _figure_failure_recovery(base) -> None:
+    failure_recovery().print_report()
+
+
 def _figure_queue(base) -> None:
     rows = queue_occupancy_study(base)
     print_table("Bounded queue (§6.2)",
@@ -116,6 +122,7 @@ FIGURES = {
     "fig17": _figure_fig17,
     "fig18": _figure_fig18,
     "queue": _figure_queue,
+    "failure-recovery": _figure_failure_recovery,
 }
 
 
@@ -136,7 +143,73 @@ def _base_config(args):
     )
     if args.paper_scale:
         overrides.update(clos=ClosSpec.paper_scale(), size_scale=1.0)
+    plan = _fault_plan_from_args(args)
+    if plan is not None:
+        overrides["faults"] = plan
+    if getattr(args, "max_events", None) is not None:
+        overrides["max_events"] = args.max_events
+    if getattr(args, "max_wall_seconds", None) is not None:
+        overrides["max_wall_seconds"] = args.max_wall_seconds
     return default_sweep_config(**overrides)
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    g = parser.add_argument_group("fault injection / watchdog")
+    g.add_argument(
+        "--faults", nargs="+", metavar="SPEC", default=None,
+        help="loss specs as key=value[,key=value...]: model=bernoulli|gilbert "
+             "rate=P links=GLOB kinds=data/credit/... corrupt=0|1 "
+             "burst_start=P burst_end=P (e.g. --faults rate=0.01,kinds=data)")
+    g.add_argument(
+        "--fault-link-down", nargs="+", action="append", default=None,
+        metavar="ARG", help="A B DOWN_MS [UP_MS]: fail the A<->B link at "
+                            "DOWN_MS, optionally repair at UP_MS")
+    g.add_argument("--max-events", type=int, default=None,
+                   help="watchdog: abort after this many simulated events")
+    g.add_argument("--max-wall-seconds", type=float, default=None,
+                   help="watchdog: abort after this much real time")
+
+
+_LOSS_SPEC_KEYS = {
+    "links": str, "model": str, "rate": float, "burst_start": float,
+    "burst_end": float, "rate_good": float,
+    "corrupt": lambda v: v.lower() in ("1", "true", "yes"),
+    "kinds": lambda v: tuple(k for k in v.split("/") if k),
+}
+
+
+def _parse_loss_spec(text: str) -> LinkLossSpec:
+    kwargs = {}
+    for item in text.split(","):
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"--faults: expected key=value, got {item!r}")
+        convert = _LOSS_SPEC_KEYS.get(key)
+        if convert is None:
+            raise SystemExit(f"--faults: unknown key {key!r} "
+                             f"(choose from {sorted(_LOSS_SPEC_KEYS)})")
+        kwargs[key] = convert(value)
+    return LinkLossSpec(**kwargs)
+
+
+def _parse_link_down(values) -> LinkFailureSpec:
+    if len(values) not in (3, 4):
+        raise SystemExit("--fault-link-down takes: A B DOWN_MS [UP_MS]")
+    a, b = values[0], values[1]
+    down_ns = int(float(values[2]) * MILLIS)
+    up_ns = int(float(values[3]) * MILLIS) if len(values) == 4 else None
+    return LinkFailureSpec(a=a, b=b, down_ns=down_ns, up_ns=up_ns)
+
+
+def _fault_plan_from_args(args) -> Optional[FaultPlan]:
+    losses = tuple(_parse_loss_spec(s) for s in (getattr(args, "faults", None) or ()))
+    failures = tuple(_parse_link_down(v)
+                     for v in (getattr(args, "fault_link_down", None) or ()))
+    if not losses and not failures:
+        return None
+    return FaultPlan(losses=losses, failures=failures)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -163,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=[s.value for s in SchemeName])
     p_run.add_argument("--deployment", type=float, default=1.0)
     _add_config_args(p_run)
+    _add_fault_args(p_run)
     return parser
 
 
@@ -190,21 +264,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                          deployment=args.deployment)
         res = run_experiment(cfg, sample_q1=True)
         s_all, s_small = res.fct(), res.fct(small=True)
+        rows = [
+            ("flows completed", f"{res.completed}/{len(res.records)}"),
+            ("avg FCT (ms)", s_all.avg_ms),
+            ("p99 small FCT (ms)", s_small.p99_ms),
+            ("timeouts", res.total_timeouts),
+            ("Q1 avg (kB)", res.q1_avg_kb),
+            ("Q1 p90 (kB)", res.q1_p90_kb),
+            ("selective drops", res.counters.dropped_selective),
+            ("ECN marks", res.counters.ecn_marked),
+            ("events simulated", res.events_run),
+            ("wall time (s)", res.wall_seconds),
+        ]
+        fc = res.fault_counters
+        if fc.any_faults:
+            rows += [
+                ("faults injected", fc.injected_drops),
+                ("packets corrupted", fc.corrupted),
+                ("link-down losses",
+                 fc.discarded_in_flight + fc.dropped_link_down),
+                ("reroutes", fc.reroutes),
+            ]
+        if res.aborted:
+            rows.append(("aborted", res.abort_reason))
         print_table(
-            f"{cfg.scheme.value} @ {cfg.deployment:.0%} deployment",
+            degraded_title(
+                f"{cfg.scheme.value} @ {cfg.deployment:.0%} deployment", res),
             ("metric", "value"),
-            [
-                ("flows completed", f"{res.completed}/{len(res.records)}"),
-                ("avg FCT (ms)", s_all.avg_ms),
-                ("p99 small FCT (ms)", s_small.p99_ms),
-                ("timeouts", res.total_timeouts),
-                ("Q1 avg (kB)", res.q1_avg_kb),
-                ("Q1 p90 (kB)", res.q1_p90_kb),
-                ("selective drops", res.counters.dropped_selective),
-                ("ECN marks", res.counters.ecn_marked),
-                ("events simulated", res.events_run),
-                ("wall time (s)", res.wall_seconds),
-            ],
+            rows,
         )
         return 0
     return 1  # pragma: no cover

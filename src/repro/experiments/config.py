@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.faults.plan import FaultPlan
 from repro.net.topology import ClosSpec
 from repro.sim.units import GBPS, KB, MICROS, MILLIS
 
@@ -81,6 +82,12 @@ class ExperimentConfig:
     small_flow_cutoff_bytes: int = 100 * KB
     #: credit feedback update period
     update_period_ns: int = 40 * MICROS
+    #: fault injection plan (None = clean fabric); see :mod:`repro.faults`
+    faults: Optional[FaultPlan] = None
+    #: watchdog: abort the simulation after this many events (None = off)
+    max_events: Optional[int] = None
+    #: watchdog: abort after this much real time in seconds (None = off)
+    max_wall_seconds: Optional[float] = None
 
     def scaled_cutoff_bytes(self) -> int:
         return max(1, int(self.small_flow_cutoff_bytes / self.size_scale))

@@ -9,7 +9,10 @@ sweeps (Figures 10-18) live in :mod:`repro.experiments.sweep`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.counters import FaultCounters
 
 from repro.core.flexpass import FlexPassParams, FlexPassReceiver, FlexPassSender
 from repro.experiments.config import ExperimentConfig, QueueSettings, SchemeName
@@ -321,4 +324,98 @@ def fig09_coexistence(scheme: str, duration_ms: int = 40,
     return ThroughputFigure(
         f"Figure 9: {scheme} vs DCTCP", 1.0,
         {k: mon.series_gbps(k, horizon) for k in schemes.values()}, 10.0,
+    )
+
+
+# ------------------------------------------------- failure-recovery scenario
+
+
+@dataclass
+class FailureRecoveryReport:
+    """§4.3 robustness scenario: a mid-transfer link outage on the
+    bottleneck, recovered by each transport's loss-recovery machinery."""
+
+    title: str
+    down_ms: float
+    up_ms: float
+    rows_: List[Tuple[object, ...]]
+    counters: "FaultCounters"
+
+    def rows(self) -> List[Tuple[object, ...]]:
+        return self.rows_
+
+    def print_report(self) -> None:
+        print(f"\n== {self.title} ==")
+        print(format_table(
+            ("flow", "completed", "delivered MB", "FCT (ms)", "rtx",
+             "proactive rtx", "timeouts"),
+            self.rows_,
+        ))
+        c = self.counters
+        print(format_table(
+            ("fault counter", "value"),
+            [
+                ("in-flight packets destroyed", c.discarded_in_flight),
+                ("packets sent into dead link", c.dropped_link_down),
+                ("route recomputations", c.reroutes),
+                ("link failures / restores",
+                 f"{c.link_failures} / {c.link_restores}"),
+            ],
+        ))
+
+
+def failure_recovery(down_ms: float = 2.0, up_ms: float = 6.0,
+                     flow_mb: int = 8,
+                     horizon_ms: int = 100) -> FailureRecoveryReport:
+    """One FlexPass and one DCTCP flow share a dumbbell whose bottleneck
+    link dies mid-transfer and comes back ``up_ms - down_ms`` ms later.
+
+    Everything in flight on the cable is destroyed and both directions eat
+    packets until the repair; routes reconverge on both transitions. The
+    paper's claim (§4.3) is that FlexPass recovers non-congestion losses
+    through the reactive sub-flow and proactive retransmission — DCTCP
+    recovers through its RTO — and both flows complete exactly once.
+    """
+    from repro.faults import LinkDownEvent, LinkUpEvent, schedule_failure_events
+
+    sim = Simulator()
+    db = build_dumbbell(sim, flexpass_queue_factory(QueueSettings(wq=0.5)),
+                        DumbbellSpec(n_pairs=2))
+    completions: List[int] = []
+
+    def done(spec, stats):
+        completions.append(spec.flow_id)
+
+    fp_stats, dc_stats = FlowStats(), FlowStats()
+    _launch_fp(sim, FlowSpec(1, db.senders[0], db.receivers[0], flow_mb * MB,
+                             0, scheme="flexpass", group="new"),
+               fp_stats, done)
+    _launch_dctcp(sim, FlowSpec(2, db.senders[1], db.receivers[1],
+                                flow_mb * MB, 0, scheme="dctcp"),
+                  dc_stats, done)
+
+    counters = schedule_failure_events(sim, db.topo, [
+        LinkDownEvent(int(down_ms * MILLIS), "swL", "swR"),
+        LinkUpEvent(int(up_ms * MILLIS), "swL", "swR"),
+    ])
+    sim.run(until=horizon_ms * MILLIS)
+
+    def row(name, flow_id, stats):
+        return (
+            name,
+            f"{'yes' if completions.count(flow_id) == 1 else 'NO'}"
+            f" (x{completions.count(flow_id)})",
+            f"{stats.delivered_bytes / MB:.1f}",
+            f"{stats.fct_ns() / MILLIS:.2f}" if stats.completed else "-",
+            stats.retransmissions,
+            stats.proactive_retransmissions,
+            stats.timeouts,
+        )
+
+    return FailureRecoveryReport(
+        title=(f"Failure recovery: bottleneck down at {down_ms} ms, "
+               f"repaired at {up_ms} ms"),
+        down_ms=down_ms, up_ms=up_ms,
+        rows_=[row("flexpass", 1, fp_stats), row("dctcp", 2, dc_stats)],
+        counters=counters,
     )

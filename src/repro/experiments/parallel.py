@@ -1,37 +1,93 @@
-"""Multi-process experiment execution.
+"""Multi-process experiment execution, resilient to per-config failures.
 
 The paper's artifact notes that "as each simulation runs in a single
 thread, the given script automatically leverages multiple CPUs to
 parallelize simulations" — same here: configurations are embarrassingly
 parallel, and both :class:`ExperimentConfig` and :class:`ExperimentResult`
 are plain picklable data, so a process pool maps over them directly.
+
+A sweep of N configs must not die because one config is broken or one
+worker leaks: exceptions are captured per config into a
+:class:`FailedResult` (with the full traceback and the offending config
+echoed back), and pool workers are recycled every few tasks so a leaking
+simulation cannot poison a long sweep.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Optional, Sequence
+import traceback
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
 
-
-def _worker(cfg: ExperimentConfig) -> ExperimentResult:
-    result = run_experiment(cfg)
-    # FlowSpec host references are not needed downstream and would drag the
-    # whole topology through pickle; records are already plain data.
-    return result
+#: Pool workers are replaced after this many simulations, bounding the
+#: damage a slow memory leak in any one config can do to a long sweep.
+DEFAULT_MAX_TASKS_PER_CHILD = 16
 
 
-def run_many(configs: Sequence[ExperimentConfig],
-             processes: Optional[int] = None) -> List[ExperimentResult]:
+@dataclass
+class FailedResult:
+    """A config that raised instead of producing an ExperimentResult.
+
+    Sweeps receive one of these *in position* (the result list always has
+    exactly ``len(configs)`` entries) so downstream tables can report the
+    hole instead of the whole run crashing.
+    """
+
+    config: ExperimentConfig
+    error: str       # repr of the exception
+    traceback: str   # full formatted traceback from the worker
+    retried: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return True
+
+
+def _worker(cfg: ExperimentConfig) -> Union[ExperimentResult, FailedResult]:
+    # Results are already plain data (records are FlowRecords, the config a
+    # plain dataclass), so nothing needs stripping before pickling back.
+    try:
+        return run_experiment(cfg)
+    except Exception as exc:  # noqa: BLE001 - the whole point is containment
+        return FailedResult(config=cfg, error=repr(exc),
+                            traceback=traceback.format_exc())
+
+
+def run_many(
+    configs: Sequence[ExperimentConfig],
+    processes: Optional[int] = None,
+    retry_failed: bool = False,
+    max_tasks_per_child: Optional[int] = DEFAULT_MAX_TASKS_PER_CHILD,
+) -> List[Union[ExperimentResult, FailedResult]]:
     """Run experiments, one process per CPU (serial when only one CPU or a
-    single config — avoids pool overhead and keeps tracebacks simple)."""
+    single config — avoids pool overhead and keeps tracebacks simple).
+
+    Always returns ``len(configs)`` entries in config order; a config that
+    raises yields a :class:`FailedResult` instead of crashing the pool.
+    ``retry_failed`` re-runs each failed config exactly once (transient
+    failures — OOM kills, flaky I/O — often clear on retry; deterministic
+    bugs fail again and keep their FailedResult, marked ``retried``).
+    """
     if processes is None:
         processes = os.cpu_count() or 1
     processes = min(processes, len(configs))
     if processes <= 1:
-        return [run_experiment(cfg) for cfg in configs]
-    with multiprocessing.Pool(processes=processes) as pool:
-        return pool.map(_worker, list(configs))
+        results = [_worker(cfg) for cfg in configs]
+    else:
+        with multiprocessing.Pool(
+            processes=processes, maxtasksperchild=max_tasks_per_child
+        ) as pool:
+            results = pool.map(_worker, list(configs))
+    if retry_failed:
+        for i, result in enumerate(results):
+            if isinstance(result, FailedResult):
+                second = _worker(result.config)
+                if isinstance(second, FailedResult):
+                    second.retried = True
+                results[i] = second
+    return results

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.config import ExperimentConfig, SchemeName
 from repro.experiments.scenarios import SchemeSetup, make_scheme_setup
+from repro.faults.counters import FaultCounters
 from repro.metrics.fct import FctSummary, FlowRecord, summarize
 from repro.metrics.queueing import QueueSampler
 from repro.net.topology import Clos, build_clos
@@ -51,6 +52,11 @@ class ExperimentResult:
     q1_p90_kb: float = 0.0
     q1_avg_red_kb: float = 0.0
     q1_p90_red_kb: float = 0.0
+    #: everything the fault injector did to this run (zeros when clean)
+    fault_counters: FaultCounters = field(default_factory=FaultCounters)
+    #: True when a watchdog stopped the run early; records are then partial
+    aborted: bool = False
+    abort_reason: str = ""
 
     # ------------------------------------------------------------ queries
 
@@ -111,6 +117,11 @@ def run_experiment(cfg: ExperimentConfig,
     clos = build_clos(sim, setup.queue_factory, cfg.clos)
     specs, _plan = build_flow_specs(cfg, clos, rng)
 
+    fault_counters = FaultCounters()
+    if cfg.faults is not None and not cfg.faults.empty:
+        injector = cfg.faults.apply(sim, clos.topo, rng)
+        fault_counters = injector.counters
+
     live: Dict[int, Tuple[FlowSpec, FlowStats]] = {}
 
     def on_complete(spec: FlowSpec, stats: FlowStats) -> None:
@@ -132,7 +143,8 @@ def run_experiment(cfg: ExperimentConfig,
                                          period_ns=100_000,
                                          until_ns=cfg.sim_time_ns))
 
-    sim.run(until=cfg.sim_time_ns)
+    sim.run(until=cfg.sim_time_ns, max_events=cfg.max_events,
+            wall_clock_s=cfg.max_wall_seconds)
 
     records = [FlowRecord.from_flow(s, st) for s, st in live.values()]
     counters = _collect_counters(clos)
@@ -143,6 +155,9 @@ def run_experiment(cfg: ExperimentConfig,
         events_run=sim.events_run,
         wall_seconds=time.monotonic() - wall_start,
         routing_failures=sum(sw.routing_failures for sw in clos.topo.switches),
+        fault_counters=fault_counters,
+        aborted=sim.aborted,
+        abort_reason=sim.abort_reason,
     )
     if samplers:
         import numpy as np

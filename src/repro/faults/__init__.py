@@ -1,0 +1,56 @@
+"""Fault injection and resilient execution (paper §4.3).
+
+FlexPass's robustness claim is that proactive data losses from
+*non-congestion* causes — switch/link failures, corrupted frames — are
+recovered by the reactive sub-flow and proactive retransmission. A clean
+simulated fabric never exercises that path, so this package provides:
+
+* **Loss models** (:mod:`repro.faults.models`): seeded Bernoulli and
+  Gilbert-Elliott burst loss, plus predicate- and kind-selective filters.
+* **FaultyLink** (:mod:`repro.faults.link`): a library-grade wrapper that
+  attaches loss/corruption models to any :class:`repro.net.link.Link`,
+  tracks in-flight packets, and supports up/down state.
+* **Scheduled failures** (:mod:`repro.faults.events`):
+  :class:`LinkDownEvent`/:class:`LinkUpEvent` on the simulator clock with
+  ECMP route recomputation and in-flight discard.
+* **FaultPlan** (:mod:`repro.faults.plan`): a picklable description of all
+  of the above, carried on an ``ExperimentConfig`` so any scenario or
+  figure can run under faults, seeded via ``RngRegistry`` for bit-for-bit
+  reproducibility.
+"""
+
+from repro.faults.counters import FaultCounters
+from repro.faults.events import LinkDownEvent, LinkUpEvent, schedule_failure_events
+from repro.faults.link import FaultyLink, LossyLink, splice, splice_lossy
+from repro.faults.models import (
+    KIND_ALIASES,
+    BernoulliLoss,
+    GilbertElliottLoss,
+    KindSelectiveLoss,
+    LossModel,
+    PredicateLoss,
+    kinds_from_names,
+)
+from repro.faults.plan import FaultInjector, FaultPlan, LinkFailureSpec, LinkLossSpec
+
+__all__ = [
+    "BernoulliLoss",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyLink",
+    "GilbertElliottLoss",
+    "KIND_ALIASES",
+    "KindSelectiveLoss",
+    "LinkDownEvent",
+    "LinkFailureSpec",
+    "LinkLossSpec",
+    "LinkUpEvent",
+    "LossModel",
+    "LossyLink",
+    "PredicateLoss",
+    "kinds_from_names",
+    "schedule_failure_events",
+    "splice",
+    "splice_lossy",
+]

@@ -1,0 +1,39 @@
+"""Shared fault counters, aggregated across all injection points of a run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FaultCounters:
+    """Counts every fault the injector introduced into one simulation.
+
+    One instance is shared by all :class:`repro.faults.link.FaultyLink`
+    wrappers and failure events of a run, so experiment results carry a
+    single aggregate (plain picklable data).
+    """
+
+    #: packets silently dropped by a loss model (Bernoulli / Gilbert-Elliott)
+    injected_drops: int = 0
+    #: packets delivered corrupted and discarded at the receiving NIC
+    corrupted: int = 0
+    #: packets discarded mid-propagation when their link went down
+    discarded_in_flight: int = 0
+    #: packets transmitted into a link that was already down
+    dropped_link_down: int = 0
+    #: route recomputations triggered by topology changes
+    reroutes: int = 0
+    link_failures: int = 0
+    link_restores: int = 0
+
+    @property
+    def total_losses(self) -> int:
+        """Every packet the fault subsystem removed from the network."""
+        return (self.injected_drops + self.corrupted
+                + self.discarded_in_flight + self.dropped_link_down)
+
+    @property
+    def any_faults(self) -> bool:
+        return (self.total_losses > 0 or self.link_failures > 0
+                or self.link_restores > 0)

@@ -31,3 +31,37 @@ def print_table(title: str, headers: Sequence[str],
                 rows: Iterable[Sequence[object]]) -> None:
     print(f"\n== {title} ==")
     print(format_table(headers, rows))
+
+
+def fault_annotation(result) -> str:
+    """Short degradation tag for an ExperimentResult, or "" when clean.
+
+    Figures and tables append this to their titles so a run that executed
+    under injected faults — or was cut short by a watchdog — can never be
+    mistaken for a clean reproduction. Duck-typed (anything with
+    ``aborted``/``abort_reason``/``fault_counters``) to keep metrics free
+    of experiment-layer imports.
+    """
+    parts = []
+    if getattr(result, "aborted", False):
+        reason = getattr(result, "abort_reason", "") or "watchdog"
+        parts.append(f"ABORTED: {reason}")
+    fc = getattr(result, "fault_counters", None)
+    if fc is not None and fc.any_faults:
+        detail = [f"drops={fc.injected_drops}"]
+        if fc.corrupted:
+            detail.append(f"corrupted={fc.corrupted}")
+        if fc.discarded_in_flight or fc.dropped_link_down:
+            detail.append(
+                f"link-down losses={fc.discarded_in_flight + fc.dropped_link_down}")
+        if fc.reroutes:
+            detail.append(f"reroutes={fc.reroutes}")
+        if fc.link_failures:
+            detail.append(f"failures={fc.link_failures}")
+        parts.append("faults " + " ".join(detail))
+    return f" [{'; '.join(parts)}]" if parts else ""
+
+
+def degraded_title(title: str, result) -> str:
+    """``title`` plus the fault annotation for ``result`` (if any)."""
+    return title + fault_annotation(result)

@@ -11,9 +11,31 @@ reverse paths of a flow mirror each other in a symmetric Clos.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 _MASK64 = (1 << 64) - 1
+
+
+def edge_key(a: int, b: int) -> Tuple[int, int]:
+    """Canonical (undirected) identity of the a<->b link."""
+    return (a, b) if a <= b else (b, a)
+
+
+def filter_adjacency(
+    adjacency: Dict[int, List[int]],
+    down_edges: FrozenSet[Tuple[int, int]],
+) -> Dict[int, List[int]]:
+    """Adjacency with the given (canonical-key) edges removed.
+
+    This is how routing reacts to link failures: the physical wiring stays
+    in the topology, but routes are recomputed over the surviving edges.
+    """
+    if not down_edges:
+        return adjacency
+    return {
+        node: [nb for nb in neighbors if edge_key(node, nb) not in down_edges]
+        for node, neighbors in adjacency.items()
+    }
 
 
 def compute_next_hops(

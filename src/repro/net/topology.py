@@ -11,14 +11,14 @@ of edge switch" deployment note.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.buffering import SharedBuffer, UnlimitedBuffer
 from repro.net.host import Host
 from repro.net.link import Link
 from repro.net.node import Node
 from repro.net.port import EgressPort
-from repro.net.routing import compute_next_hops
+from repro.net.routing import compute_next_hops, edge_key, filter_adjacency
 from repro.net.scheduler import QueueSchedule
 from repro.net.switch import Switch
 from repro.sim.engine import Simulator
@@ -38,8 +38,11 @@ class Topology:
         self.switches: List[Switch] = []
         self.nodes: Dict[int, Node] = {}
         self._adjacency: Dict[int, List[int]] = {}
+        self._down_edges: Set[Tuple[int, int]] = set()
         self._next_id = 0
         self._finalized = False
+        #: route recomputations after finalize() (fault injection reroutes)
+        self.route_recomputes = 0
 
     # ------------------------------------------------------------ building
 
@@ -68,17 +71,56 @@ class Topology:
 
     def finalize(self) -> None:
         """Compute routes. Call after all links are in place."""
-        host_ids = [h.id for h in self.hosts]
-        next_hops = compute_next_hops(self._adjacency, host_ids)
-        for switch in self.switches:
-            switch.next_hops = next_hops[switch.id]
+        self._install_routes()
         self._finalized = True
+
+    # -------------------------------------------------- dynamic link state
+
+    def set_edge_state(self, a: Node, b: Node, up: bool) -> None:
+        """Mark the a<->b link up or down for routing purposes.
+
+        The physical ports and links stay in place (a down link simply
+        eats packets — see :mod:`repro.faults`); only route computation
+        changes. Call :meth:`recompute_routes` afterwards to make switches
+        react; the two steps are split so a batch of simultaneous failures
+        costs one recomputation.
+        """
+        if b.id not in self._adjacency.get(a.id, []):
+            raise ValueError(f"no link between {a.name} and {b.name}")
+        key = edge_key(a.id, b.id)
+        if up:
+            self._down_edges.discard(key)
+        else:
+            self._down_edges.add(key)
+
+    def edge_is_up(self, a: Node, b: Node) -> bool:
+        return edge_key(a.id, b.id) not in self._down_edges
+
+    def recompute_routes(self) -> None:
+        """Reinstall ECMP next-hops over the surviving (up) edges."""
+        self._install_routes()
+        self.route_recomputes += 1
+
+    def _install_routes(self) -> None:
+        host_ids = [h.id for h in self.hosts]
+        adjacency = filter_adjacency(self._adjacency, frozenset(self._down_edges))
+        next_hops = compute_next_hops(adjacency, host_ids)
+        for switch in self.switches:
+            switch.next_hops = next_hops.get(switch.id, {})
 
     # ------------------------------------------------------------- lookups
 
     def port(self, src: Node, dst: Node) -> EgressPort:
         """The egress port on ``src`` facing ``dst``."""
         return src.ports[dst.id]
+
+    def node_by_name(self, name: str) -> Node:
+        """Look up a node by its human name (fault plans address links
+        as name pairs so plans stay picklable and topology-independent)."""
+        for node in self.nodes.values():
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r}")
 
     def all_ports(self) -> List[EgressPort]:
         return [p for node in self.nodes.values() for p in node.ports.values()]

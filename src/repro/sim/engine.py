@@ -15,6 +15,7 @@ Two ordering guarantees matter for correctness elsewhere in the stack:
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, List, Optional
 
 
@@ -51,12 +52,17 @@ class EventHandle:
 class Simulator:
     """A discrete-event simulator with an integer-nanosecond clock."""
 
+    #: between wall-clock checks, this many events run uninstrumented
+    WALL_CHECK_INTERVAL = 4096
+
     def __init__(self) -> None:
         self._heap: List[EventHandle] = []
         self._now: int = 0
         self._seq: int = 0
         self._events_run: int = 0
         self._running = False
+        self.aborted = False
+        self.abort_reason = ""
 
     @property
     def now(self) -> int:
@@ -92,18 +98,30 @@ class Simulator:
         """Schedule ``fn(*args)`` at the current instant (after current event)."""
         return self.at(self._now, fn, *args)
 
-    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Run events until the heap drains, ``until`` is reached, or
-        ``max_events`` have executed.
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None,
+            wall_clock_s: Optional[float] = None) -> int:
+        """Run events until the heap drains, ``until`` is reached, or a
+        watchdog budget (``max_events`` executed, ``wall_clock_s`` seconds
+        of real time) is exhausted.
 
         Returns the number of events executed by this call. When ``until`` is
         given, the clock is advanced to ``until`` even if the heap drained
         earlier, so back-to-back ``run`` calls see a monotonic clock.
+
+        Hitting a watchdog budget while live events remain sets ``aborted``
+        and ``abort_reason`` — the hook runaway simulations are detected
+        with (a finished run, even one cut at ``until``, is not an abort).
+        Each call resets the flags.
         """
         if self._running:
             raise RuntimeError("Simulator.run is not reentrant")
         self._running = True
+        self.aborted = False
+        self.abort_reason = ""
         executed = 0
+        deadline = (time.monotonic() + wall_clock_s
+                    if wall_clock_s is not None else None)
+        next_wall_check = executed + self.WALL_CHECK_INTERVAL
         try:
             heap = self._heap
             while heap:
@@ -114,7 +132,21 @@ class Simulator:
                 if until is not None and handle.time > until:
                     break
                 if max_events is not None and executed >= max_events:
+                    self.aborted = True
+                    self.abort_reason = (
+                        f"watchdog: {executed} events executed "
+                        f"(max_events={max_events})"
+                    )
                     break
+                if deadline is not None and executed >= next_wall_check:
+                    next_wall_check = executed + self.WALL_CHECK_INTERVAL
+                    if time.monotonic() >= deadline:
+                        self.aborted = True
+                        self.abort_reason = (
+                            f"watchdog: wall-clock budget {wall_clock_s:.3g}s "
+                            f"exhausted after {executed} events"
+                        )
+                        break
                 heapq.heappop(heap)
                 self._now = handle.time
                 fn, args = handle.fn, handle.args
@@ -126,7 +158,7 @@ class Simulator:
                 self._events_run += 1
         finally:
             self._running = False
-        if until is not None and self._now < until:
+        if until is not None and self._now < until and not self.aborted:
             self._now = until
         return executed
 

@@ -2,17 +2,17 @@
 
 The paper's §4.3 "Handling proactive data packet losses" path (switch
 failures, i.e., non-congestion loss) is hard to trigger organically on a
-clean fabric, so these tests inject drops at the link layer and verify each
-recovery mechanism fires and the flow still completes exactly once.
+clean fabric, so these tests inject drops at the link layer — via the
+library's :class:`repro.faults.LossyLink`, so test and experiment fault
+paths cannot drift — and verify each recovery mechanism fires and the
+flow still completes exactly once.
 """
-
-from typing import Callable, List
 
 from repro.core.flexpass import FlexPassParams, FlexPassReceiver, FlexPassSender
 from repro.experiments.config import QueueSettings
 from repro.experiments.scenarios import flexpass_queue_factory
-from repro.net.link import Link
-from repro.net.packet import Packet, PacketKind
+from repro.faults import splice_lossy as _splice
+from repro.net.packet import PacketKind
 from repro.net.topology import DumbbellSpec, build_dumbbell
 from repro.sim.engine import Simulator
 from repro.sim.units import GBPS, KB, MB, MILLIS
@@ -21,31 +21,6 @@ from repro.transports.credit_feedback import CREDIT_PER_DATA
 from repro.transports.dctcp import DctcpParams, DctcpReceiver, DctcpSender
 
 from tests.util import Completions
-
-
-class LossyLink:
-    """Wraps a Link and drops packets matching a predicate (once each)."""
-
-    def __init__(self, link: Link, should_drop: Callable[[Packet], bool]):
-        self._link = link
-        self._should_drop = should_drop
-        self.dropped: List[Packet] = []
-        # splice into the original link's slots
-        self.sim = link.sim
-        self.dst = link.dst
-        self.delay_ns = link.delay_ns
-
-    def carry(self, pkt: Packet) -> None:
-        if self._should_drop(pkt):
-            self.dropped.append(pkt)
-            return
-        self._link.carry(pkt)
-
-
-def _splice(port, should_drop):
-    lossy = LossyLink(port.link, should_drop)
-    port.link = lossy
-    return lossy
 
 
 def setup_flexpass(size=1 * MB, **param_overrides):

@@ -21,7 +21,7 @@ from typing import Dict, List, Tuple
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments.config import ExperimentConfig, SchemeName  # noqa: E402
-from repro.experiments.parallel import run_many  # noqa: E402
+from repro.experiments.parallel import FailedResult, run_many  # noqa: E402
 from repro.experiments.sweep import default_sweep_config  # noqa: E402
 from repro.net.topology import ClosSpec  # noqa: E402
 from repro.sim.units import MILLIS  # noqa: E402
@@ -100,10 +100,18 @@ def main() -> int:
     print(f"running {len(grid)} simulations "
           f"({base.clos.n_hosts} hosts, {args.ms} ms each) ...")
 
-    results = run_many([cfg for _, cfg in grid], processes=args.processes)
+    results = run_many([cfg for _, cfg in grid], processes=args.processes,
+                       retry_failed=True)
 
     index_rows = []
     for (eid, cfg), res in zip(grid, results):
+        if isinstance(res, FailedResult):
+            # One broken experiment must not lose the other results.
+            index_rows.append([eid, cfg.scheme.value, cfg.deployment,
+                               cfg.load, cfg.foreground_fraction,
+                               cfg.workload, 0, 0, "FAILED"])
+            print(f"  {eid}: FAILED ({res.error})")
+            continue
         path = os.path.join(args.out, f"fct_{eid}.csv")
         with open(path, "w", newline="") as f:
             w = csv.writer(f)
