@@ -1,17 +1,36 @@
 """Simulator-core performance benchmarks (not a paper figure).
 
-Tracks the raw cost of the two hot paths every experiment is built on:
-event dispatch in the DES kernel and store-and-forward packet transport
-across the fabric. Useful for catching performance regressions that would
-silently stretch every figure bench.
+Tracks the raw cost of the three hot paths every experiment is built on:
+event dispatch in the DES kernel, store-and-forward packet transport
+across the fabric, and the strict-priority + DWRR egress scheduler.
+Useful for catching performance regressions that would silently stretch
+every figure bench.
+
+Besides pytest-benchmark's timing, every run merges its headline rates
+into a ``BENCH_engine.json`` record (``REPRO_BENCH_OUT`` overrides the
+path) via :mod:`repro.metrics.bench`, so the trajectory of events/sec and
+packets/sec is tracked across PRs. The committed reference lives at
+``benchmarks/baselines/BENCH_engine.json``; see EXPERIMENTS.md
+("Performance tracking") for how to read and refresh it.
 """
 
+import time
+
+from repro.metrics.bench import record_bench
 from repro.net.packet import Dscp, Packet, PacketKind
+from repro.net.queues import PacketQueue, QueueConfig
+from repro.net.scheduler import PortScheduler, QueueSchedule
 from repro.net.topology import DumbbellSpec, build_dumbbell
 from repro.sim.engine import Simulator
-from repro.sim.units import MILLIS
 
 from tests.test_net_port_topology import Recorder, single_queue_factory
+
+
+def _record_rate(name, count, elapsed, unit, **extra):
+    metrics = {f"n_{unit}": count, "elapsed_s": elapsed,
+               f"{unit}_per_sec": count / elapsed}
+    metrics.update(extra)
+    record_bench(name, metrics)
 
 
 def test_bench_event_dispatch(benchmark):
@@ -27,7 +46,10 @@ def test_bench_event_dispatch(benchmark):
                 sim.after(10, tick)
 
         sim.at(0, tick)
+        t0 = time.perf_counter()
         sim.run()
+        _record_rate("event_dispatch", count[0], time.perf_counter() - t0,
+                     "events")
         return count[0]
 
     executed = benchmark(run)
@@ -47,8 +69,45 @@ def test_bench_packet_forwarding(benchmark):
         for _ in range(n):
             src.send(Packet(PacketKind.DATA, 1, src.id, dst.id, 1584,
                             dscp=Dscp.LEGACY))
+        t0 = time.perf_counter()
         sim.run()
+        elapsed = time.perf_counter() - t0
+        _record_rate("packet_forwarding", n, elapsed, "packets",
+                     events_per_sec=sim.events_run / elapsed)
         return len(rec.packets)
 
     delivered = benchmark(run)
     assert delivered == 20_000
+
+
+def test_bench_dwrr_egress(benchmark):
+    """Egress scheduler: drain 60k packets through the paper's 3-queue port
+    shape (strict-priority credit queue + two DWRR data queues, one with a
+    small weight — the configuration that used to wedge)."""
+
+    def run():
+        queues = [PacketQueue(QueueConfig(name=f"q{i}")) for i in range(3)]
+        sched = PortScheduler([
+            QueueSchedule(queues[0], priority=0, weight=1.0),
+            QueueSchedule(queues[1], priority=1, weight=1.0),
+            QueueSchedule(queues[2], priority=1, weight=0.05),
+        ])
+        per_queue = 20_000
+        for q in queues:
+            for _ in range(per_queue):
+                q.push(Packet(PacketKind.DATA, 1, 0, 1, 1500,
+                              dscp=Dscp.LEGACY))
+        total = 3 * per_queue
+        t0 = time.perf_counter()
+        served = 0
+        while True:
+            pkt, _ = sched.next(0)
+            if pkt is None:
+                break
+            served += 1
+        _record_rate("dwrr_egress", total, time.perf_counter() - t0,
+                     "packets")
+        return served
+
+    served = benchmark(run)
+    assert served == 60_000

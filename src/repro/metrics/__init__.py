@@ -1,11 +1,20 @@
-"""Measurement: FCT records, throughput time series, queue occupancy."""
+"""Measurement: FCT records, throughput time series, queue occupancy,
+benchmark baselines."""
 
+from repro.metrics.bench import (
+    compare_to_baseline,
+    load_baseline,
+    record_bench,
+)
 from repro.metrics.fct import FctSummary, FlowRecord, summarize
 from repro.metrics.queueing import QueueSampler
 from repro.metrics.throughput import ThroughputMonitor, starvation_fraction
 from repro.metrics.tracing import PacketTracer, TraceEvent
 
 __all__ = [
+    "compare_to_baseline",
+    "load_baseline",
+    "record_bench",
     "FctSummary",
     "FlowRecord",
     "summarize",

@@ -1,0 +1,117 @@
+"""Benchmark-baseline bookkeeping (``BENCH_engine.json``).
+
+The simulator-core benchmarks and the :mod:`tools.profile_sim` harness both
+record their headline rates (events/sec, packets/sec) through this module so
+every run leaves a machine-readable trace that later PRs can diff against.
+
+The file format is a single JSON object::
+
+    {
+      "schema": 1,
+      "python": "3.12.3",
+      "results": {
+        "event_dispatch": {"events_per_sec": 1.2e6, "n_events": 200000,
+                           "elapsed_s": 0.16},
+        ...
+      }
+    }
+
+Records merge by name: re-running one benchmark updates only its entry, so a
+baseline file can be built up across several invocations. Writes are
+atomic (tmp file + rename) so a crashed run never truncates a baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+from typing import Dict, List, Optional
+
+SCHEMA_VERSION = 1
+
+#: default output file, relative to the current working directory
+DEFAULT_BENCH_FILE = "BENCH_engine.json"
+
+#: environment override for where benchmark runs drop their records
+BENCH_OUT_ENV = "REPRO_BENCH_OUT"
+
+
+def bench_output_path() -> str:
+    """Where benchmark records land: ``$REPRO_BENCH_OUT`` or ./BENCH_engine.json."""
+    return os.environ.get(BENCH_OUT_ENV, DEFAULT_BENCH_FILE)
+
+
+def load_baseline(path: str) -> Optional[dict]:
+    """Load a baseline file, or ``None`` if absent or unreadable."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or "results" not in data:
+        return None
+    return data
+
+
+def record_bench(name: str, metrics: Dict[str, float],
+                 path: Optional[str] = None) -> dict:
+    """Merge one benchmark's metrics into the baseline file at ``path``.
+
+    Returns the full document after the merge.
+    """
+    if path is None:
+        path = bench_output_path()
+    doc = load_baseline(path) or {}
+    doc.setdefault("schema", SCHEMA_VERSION)
+    doc["python"] = platform.python_version()
+    results = doc.setdefault("results", {})
+    results[name] = dict(metrics)
+    _atomic_write_json(path, doc)
+    return doc
+
+
+def compare_to_baseline(current: dict, baseline: dict,
+                        metric_suffix: str = "_per_sec",
+                        tolerance: float = 0.7) -> List[str]:
+    """Return human-readable regression lines: every rate metric in
+    ``current`` that fell below ``tolerance`` × its baseline value.
+
+    Only ``*_per_sec`` metrics are rates worth comparing; counts and elapsed
+    times vary with configuration. An empty list means no regressions.
+    """
+    problems: List[str] = []
+    base_results = baseline.get("results", {})
+    for name, metrics in current.get("results", {}).items():
+        base = base_results.get(name)
+        if not base:
+            continue
+        for key, value in metrics.items():
+            if not key.endswith(metric_suffix):
+                continue
+            ref = base.get(key)
+            if not isinstance(ref, (int, float)) or ref <= 0:
+                continue
+            if value < tolerance * ref:
+                problems.append(
+                    f"{name}.{key}: {value:,.0f} < {tolerance:.0%} of "
+                    f"baseline {ref:,.0f}"
+                )
+    return problems
+
+
+def _atomic_write_json(path: str, doc: dict) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

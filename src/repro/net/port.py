@@ -43,6 +43,9 @@ class EgressPort:
         self.rate_bps = rate_bps
         self.buffer = buffer
         self.scheduler = PortScheduler(schedules)
+        # The scheduler's ``queues`` property builds a fresh list per call;
+        # enqueue runs per packet, so index a cached copy instead.
+        self._queues = self.scheduler.queues
         self.classifier = classifier
         self.link = link
         self.busy = False
@@ -61,7 +64,7 @@ class EgressPort:
             raise KeyError(
                 f"port {self.name}: no queue configured for DSCP {pkt.dscp}"
             )
-        queue = self.scheduler.queue(qidx)
+        queue = self._queues[qidx]
         if not queue.admit(pkt):
             return False
         if not self.buffer.try_admit(queue.byte_count, pkt.size):

@@ -3,7 +3,8 @@
 A :class:`PacketQueue` implements the paper's per-queue switch features:
 
 * **RED/ECN marking** — instantaneous-queue-length marking as DCTCP
-  configures it (mark when occupancy exceeds K), with an optional RED ramp.
+  configures it (mark when the post-enqueue occupancy exceeds K), with an
+  optional RED ramp.
 * **Selective (color-aware) dropping** — RED-colored packets are dropped
   once the queue's red-byte occupancy crosses a threshold, while GREEN
   packets survive until the whole queue hits its cap (§4.1, §5).
@@ -57,7 +58,8 @@ class QueueStats:
 class PacketQueue:
     """A FIFO byte queue with ECN marking and selective dropping."""
 
-    __slots__ = ("config", "stats", "_fifo", "byte_count", "red_bytes", "_mark_rng")
+    __slots__ = ("config", "stats", "_fifo", "byte_count", "red_bytes",
+                 "_mark_rng", "_backlog_watcher")
 
     def __init__(self, config: QueueConfig, mark_rng=None) -> None:
         self.config = config
@@ -66,6 +68,14 @@ class PacketQueue:
         self.byte_count = 0
         self.red_bytes = 0
         self._mark_rng = mark_rng  # only needed when red_max_bytes is set
+        self._backlog_watcher = None
+
+    def set_backlog_watcher(self, watcher) -> None:
+        """Register ``watcher(nonempty: bool)``, called on every transition
+        between empty and non-empty. A scheduler uses this to keep per-class
+        backlog counts without scanning its queues on each dequeue; a queue
+        supports at most one watcher (re-registering replaces it)."""
+        self._backlog_watcher = watcher
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -97,6 +107,8 @@ class PacketQueue:
         """Enqueue an admitted packet, applying ECN marking."""
         self._maybe_mark(pkt)
         self._fifo.append(pkt)
+        if len(self._fifo) == 1 and self._backlog_watcher is not None:
+            self._backlog_watcher(True)
         self.byte_count += pkt.size
         if pkt.color == Color.RED:
             self.red_bytes += pkt.size
@@ -111,6 +123,8 @@ class PacketQueue:
     def pop(self) -> Packet:
         """Dequeue the head packet."""
         pkt = self._fifo.popleft()
+        if not self._fifo and self._backlog_watcher is not None:
+            self._backlog_watcher(False)
         self.byte_count -= pkt.size
         if pkt.color == Color.RED:
             self.red_bytes -= pkt.size
@@ -125,7 +139,10 @@ class PacketQueue:
         cfg = self.config
         if cfg.ecn_threshold_bytes is None or not pkt.ecn_capable:
             return
-        occupancy = self.byte_count  # queue length seen on arrival
+        # DCTCP marking rule: mark when the instantaneous queue length
+        # *including the arriving packet* exceeds K (strictly greater — a
+        # queue sitting exactly at K is not over threshold).
+        occupancy = self.byte_count + pkt.size
         if cfg.red_max_bytes is not None and cfg.red_max_bytes > cfg.ecn_threshold_bytes:
             # RED ramp: linear marking probability between min and max.
             if occupancy <= cfg.ecn_threshold_bytes:
@@ -136,7 +153,7 @@ class PacketQueue:
                 if self._mark_rng is None or self._mark_rng.random() >= prob:
                     return
             # above red_max: always mark
-        elif occupancy < cfg.ecn_threshold_bytes:
+        elif occupancy <= cfg.ecn_threshold_bytes:
             return
         pkt.ce = True
         self.stats.ecn_marked += 1

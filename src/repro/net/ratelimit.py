@@ -9,6 +9,8 @@ holds its full size.
 
 from __future__ import annotations
 
+import math
+
 from repro.sim.units import SECONDS
 
 
@@ -51,10 +53,21 @@ class TokenBucket:
         self._tokens -= nbytes
 
     def eligible_at(self, now_ns: int, nbytes: int) -> int:
-        """Earliest time at which ``nbytes`` tokens will be available."""
+        """Earliest time at which ``nbytes`` tokens will be available.
+
+        Uses ceiling division: when the deficit divides the rate exactly the
+        returned instant is exact, not one nanosecond late — an ``int(x)+1``
+        rounding here systematically overshoots and drifts a paced credit
+        queue below its reserved rate over long runs.
+        """
         self._refill(now_ns)
         deficit = nbytes - self._tokens
         if deficit <= 0:
             return now_ns
-        wait_ns = int(deficit * 8.0 * SECONDS / self.rate_bps) + 1
+        rate = self.rate_bps
+        wait_ns = math.ceil(deficit * 8.0 * SECONDS / rate)
+        # Float guard: make sure the bucket really covers nbytes at the
+        # returned instant (the refill at now+wait must not round down).
+        if self._tokens + wait_ns * rate / (8.0 * SECONDS) < nbytes:
+            wait_ns += 1
         return now_ns + wait_ns

@@ -9,10 +9,18 @@ The scheduler is pull-based: the egress port calls :meth:`PortScheduler.next`
 whenever the wire goes idle. The call returns either a packet, or the
 earliest future time at which one *could* become eligible (a paced queue
 waiting for tokens), or neither (everything empty).
+
+``next`` runs once per transmitted packet, so it allocates nothing: each
+priority class keeps a backlog counter that the member queues update on the
+empty/non-empty transitions of ``push``/``pop`` (see
+:meth:`repro.net.queues.PacketQueue.set_backlog_watcher`), and the DWRR loop
+catches a starved small-weight queue up in O(1) bulk steps instead of one
+quantum per pass (see :meth:`_serve_dwrr`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -32,7 +40,7 @@ class QueueSchedule:
     queue: PacketQueue
     #: Lower number = served first. Queues with equal priority form a DWRR set.
     priority: int = 1
-    #: Relative DWRR weight within the priority class.
+    #: Relative DWRR weight within the priority class. Must be positive.
     weight: float = 1.0
     #: Optional pacer (the ExpressPass credit-queue rate limiter).
     pacer: Optional[TokenBucket] = None
@@ -46,11 +54,21 @@ class _DwrrState:
 
 
 class PortScheduler:
-    """Strict-priority + DWRR scheduler over a fixed set of queues."""
+    """Strict-priority + DWRR scheduler over a fixed set of queues.
+
+    The scheduler takes ownership of its queues' backlog watcher slot; a
+    :class:`PacketQueue` can belong to at most one scheduler.
+    """
 
     def __init__(self, schedules: List[QueueSchedule]) -> None:
         if not schedules:
             raise ValueError("a port needs at least one queue")
+        for s in schedules:
+            if s.weight <= 0:
+                raise ValueError(
+                    f"queue weight must be positive, got {s.weight} "
+                    f"(a zero-weight queue would never accumulate deficit)"
+                )
         self._schedules = schedules
         # Group queue indices by priority, best priority first.
         prios = sorted({s.priority for s in schedules})
@@ -58,7 +76,27 @@ class PortScheduler:
             [i for i, s in enumerate(schedules) if s.priority == p] for p in prios
         ]
         self._dwrr = [_DwrrState() for _ in schedules]
-        self._rr_pos = {p: 0 for p in range(len(self._classes))}
+        self._rr_pos = [0] * len(self._classes)
+        # Per-class count of non-empty member queues, maintained by watcher
+        # callbacks on the queues' empty/non-empty transitions so ``next``
+        # never scans (or allocates a list of) the members.
+        self._backlog = [0] * len(self._classes)
+        for class_idx, members in enumerate(self._classes):
+            for i in members:
+                q = schedules[i].queue
+                if not q.empty:
+                    self._backlog[class_idx] += 1
+                q.set_backlog_watcher(self._make_watcher(class_idx))
+        #: fast path: the ubiquitous single-queue port skips classing entirely
+        self._sole_idx: Optional[int] = 0 if len(schedules) == 1 else None
+
+    def _make_watcher(self, class_idx: int):
+        backlog = self._backlog
+
+        def watcher(nonempty: bool) -> None:
+            backlog[class_idx] += 1 if nonempty else -1
+
+        return watcher
 
     @property
     def queues(self) -> List[PacketQueue]:
@@ -77,12 +115,17 @@ class PortScheduler:
         the only backlogged queues are paced and become eligible at ``t``,
         and ``(None, None)`` when all queues are empty.
         """
+        if self._sole_idx is not None:
+            return self._serve_single(self._sole_idx, now_ns)
         wake: Optional[int] = None
+        backlog = self._backlog
         for class_idx, members in enumerate(self._classes):
-            backlogged = [i for i in members if not self._schedules[i].queue.empty]
-            if not backlogged:
+            if not backlog[class_idx]:
                 continue
-            pkt, class_wake = self._serve_class(class_idx, members, now_ns)
+            if len(members) == 1:
+                pkt, class_wake = self._serve_single(members[0], now_ns)
+            else:
+                pkt, class_wake = self._serve_dwrr(class_idx, members, now_ns)
             if pkt is not None:
                 return pkt, None
             if class_wake is not None and (wake is None or class_wake < wake):
@@ -92,26 +135,19 @@ class PortScheduler:
             # data may use the wire while credits wait for tokens).
         return None, wake
 
-    def _serve_class(
-        self, class_idx: int, members: List[int], now_ns: int
-    ) -> Tuple[Optional[Packet], Optional[int]]:
-        if len(members) == 1:
-            return self._serve_single(members[0], now_ns)
-        return self._serve_dwrr(class_idx, members, now_ns)
-
     def _serve_single(
         self, idx: int, now_ns: int
     ) -> Tuple[Optional[Packet], Optional[int]]:
         sched = self._schedules[idx]
         q = sched.queue
-        if q.empty:
-            return None, None
         head = q.head()
-        assert head is not None
-        if sched.pacer is not None:
-            if not sched.pacer.can_send(now_ns, head.size):
-                return None, sched.pacer.eligible_at(now_ns, head.size)
-            sched.pacer.consume(now_ns, head.size)
+        if head is None:
+            return None, None
+        pacer = sched.pacer
+        if pacer is not None:
+            if not pacer.can_send(now_ns, head.size):
+                return None, pacer.eligible_at(now_ns, head.size)
+            pacer.consume(now_ns, head.size)
         return q.pop(), None
 
     def _serve_dwrr(
@@ -121,33 +157,49 @@ class PortScheduler:
 
         Empty queues forfeit their deficit (classic DRR), so an idle
         transport cannot bank credit and later burst past its weight.
+
+        Each full round over the members adds one ``quantum × weight`` to
+        every backlogged queue still short of its head packet. Rather than
+        iterating those rounds one by one — a weight-0.01 queue needs ~100
+        of them per MTU, which used to overrun a fixed pass budget and
+        wedge the port — a round that serves nothing is followed by a bulk
+        catch-up that advances every backlogged queue's deficit by the
+        number of empty rounds still needed, computed in closed form. The
+        loop therefore terminates in O(1) rounds regardless of weights:
+        either some queue's head becomes serveable, or every backlogged
+        queue is paced-and-short-of-tokens and a wake time is returned.
         """
         pos = self._rr_pos[class_idx]
         n = len(members)
         wake: Optional[int] = None
-        # Each pass over the backlogged set adds one quantum; with at least
-        # one backlogged unpaced queue this terminates in O(max_pkt/quantum)
-        # passes. Paced queues can postpone service, hence the wake fallback.
-        for _ in range(n * 64):
-            idx = members[pos % n]
-            sched = self._schedules[idx]
-            q = sched.queue
-            state = self._dwrr[idx]
-            if q.empty:
-                state.deficit = 0.0
-                pos += 1
-                continue
-            head = q.head()
-            assert head is not None
-            if state.deficit >= head.size:
-                if sched.pacer is not None:
-                    if not sched.pacer.can_send(now_ns, head.size):
-                        t = sched.pacer.eligible_at(now_ns, head.size)
+        schedules = self._schedules
+        dwrr = self._dwrr
+        while True:
+            progressed = False  # any deficit grew this round
+            for _ in range(n):
+                idx = members[pos % n]
+                sched = schedules[idx]
+                q = sched.queue
+                state = dwrr[idx]
+                head = q.head()
+                if head is None:
+                    state.deficit = 0.0
+                    pos += 1
+                    continue
+                if state.deficit < head.size:
+                    state.deficit += _BASE_QUANTUM * sched.weight
+                    progressed = True
+                    pos += 1
+                    continue
+                pacer = sched.pacer
+                if pacer is not None:
+                    if not pacer.can_send(now_ns, head.size):
+                        t = pacer.eligible_at(now_ns, head.size)
                         if wake is None or t < wake:
                             wake = t
                         pos += 1
                         continue
-                    sched.pacer.consume(now_ns, head.size)
+                    pacer.consume(now_ns, head.size)
                 state.deficit -= head.size
                 pkt = q.pop()
                 if q.empty:
@@ -155,9 +207,44 @@ class PortScheduler:
                     pos += 1
                 self._rr_pos[class_idx] = pos % n
                 return pkt, None
-            state.deficit += _BASE_QUANTUM * sched.weight
-            pos += 1
-        # Only reachable when every backlogged queue in the class is paced
-        # and short of tokens.
-        self._rr_pos[class_idx] = pos % n
-        return None, wake
+            if not progressed:
+                # Every backlogged queue already holds enough deficit but is
+                # paced and short of tokens: report the earliest wake time.
+                self._rr_pos[class_idx] = pos % n
+                return None, wake
+            # Bulk catch-up: the smallest number of further whole rounds any
+            # backlogged queue needs before its deficit covers its head.
+            rounds: Optional[int] = None
+            for idx in members:
+                sched = schedules[idx]
+                head = sched.queue.head()
+                if head is None:
+                    continue
+                need = head.size - dwrr[idx].deficit
+                if need <= 0:
+                    if sched.pacer is None:
+                        # An unpaced queue that crossed its head size after
+                        # its visit this round serves on the very next one:
+                        # there are no empty rounds to skip.
+                        rounds = 1
+                        break
+                    # Paced and short of tokens: it cannot serve at this
+                    # instant no matter how many rounds pass — it does not
+                    # bound the jump.
+                    continue
+                r = math.ceil(need / (_BASE_QUANTUM * sched.weight))
+                if rounds is None or r < rounds:
+                    rounds = r
+            if rounds is not None and rounds > 1:
+                # Only queues still short of their head accumulate in the
+                # skipped rounds (a paced queue with sufficient deficit does
+                # not bank further quanta round over round), and by choice of
+                # ``rounds`` none of them crosses its head size early, so the
+                # jump is exactly equivalent to running the rounds one by one.
+                extra = rounds - 1
+                for idx in members:
+                    sched = schedules[idx]
+                    head = sched.queue.head()
+                    state = dwrr[idx]
+                    if head is not None and state.deficit < head.size:
+                        state.deficit += extra * _BASE_QUANTUM * sched.weight

@@ -1,9 +1,18 @@
 """Event loop for the packet-level simulator.
 
-The engine is a classic calendar built on :mod:`heapq`. Events are plain
-callbacks; cancellation is lazy (a cancelled handle stays in the heap and is
-skipped when popped), which is far cheaper than heap surgery for the
-cancel-heavy workloads that transport retransmission timers produce.
+The engine is a classic calendar built on :mod:`heapq`. The heap holds
+``(time, seq, handle)`` tuples so ordering is decided by C-level tuple
+comparison instead of a Python ``__lt__`` call per sift step. Events are
+plain callbacks; cancellation is lazy (a cancelled handle stays in the heap
+and is skipped when popped), which is far cheaper than heap surgery for the
+cancel-heavy workloads that transport retransmission timers produce. Two
+counters keep the laziness honest:
+
+* ``pending()`` is O(1): live events = heap entries minus a running count
+  of cancelled-but-not-yet-popped entries;
+* when cancelled entries dominate the heap (``COMPACT_MIN_CANCELLED`` of
+  them and at least half the heap), the heap is compacted in place, so a
+  long run with cancel-heavy timers cannot grow the calendar unboundedly.
 
 Two ordering guarantees matter for correctness elsewhere in the stack:
 
@@ -16,28 +25,36 @@ from __future__ import annotations
 
 import heapq
 import time
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 
 class EventHandle:
     """A scheduled event that can be cancelled before it fires."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple,
+                 sim: "Simulator"):
         self.time = time
         self.seq = seq
         self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Safe to call more than once."""
+        """Prevent the event from firing. Safe to call more than once,
+        including after the event has already fired (a no-op then)."""
+        if self.cancelled or self.fn is None:
+            # Already cancelled, or already fired (the dispatcher clears
+            # ``fn`` before invoking it) — nothing left to do.
+            return
         self.cancelled = True
         # Drop references so cancelled timers don't pin packet objects alive
         # until the heap entry is popped.
         self.fn = None
         self.args = ()
+        self._sim._note_cancel()
 
     def __lt__(self, other: "EventHandle") -> bool:
         if self.time != other.time:
@@ -55,11 +72,16 @@ class Simulator:
     #: between wall-clock checks, this many events run uninstrumented
     WALL_CHECK_INTERVAL = 4096
 
+    #: compaction fires only once this many cancelled entries are buried in
+    #: the heap *and* they make up at least half of it
+    COMPACT_MIN_CANCELLED = 256
+
     def __init__(self) -> None:
-        self._heap: List[EventHandle] = []
+        self._heap: List[Tuple[int, int, EventHandle]] = []
         self._now: int = 0
         self._seq: int = 0
         self._events_run: int = 0
+        self._cancelled: int = 0  # cancelled entries still buried in the heap
         self._running = False
         self.aborted = False
         self.abort_reason = ""
@@ -83,20 +105,40 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at t={time} ns; clock is already at {self._now} ns"
             )
-        handle = EventHandle(time, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, fn, args, self)
+        heapq.heappush(self._heap, (time, seq, handle))
         return handle
 
     def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
         if delay < 0:
             raise ValueError(f"delay must be nonnegative, got {delay}")
-        return self.at(self._now + delay, fn, *args)
+        # Inlined ``at`` body: this is the hottest scheduling entry point and
+        # an extra Python frame per packet/timer is measurable.
+        t = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(t, seq, fn, args, self)
+        heapq.heappush(self._heap, (t, seq, handle))
+        return handle
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at the current instant (after current event)."""
         return self.at(self._now, fn, *args)
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping for a live heap entry turning cancelled."""
+        self._cancelled += 1
+        heap = self._heap
+        if (self._cancelled >= self.COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 >= len(heap)):
+            # In-place compaction (slice assignment) so a ``run`` loop holding
+            # a local alias of the heap keeps seeing the same list object.
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._cancelled = 0
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None,
             wall_clock_s: Optional[float] = None) -> int:
@@ -118,18 +160,49 @@ class Simulator:
         self._running = True
         self.aborted = False
         self.abort_reason = ""
+        if until is None and max_events is None and wall_clock_s is None:
+            return self._run_fast()
+        return self._run_guarded(until, max_events, wall_clock_s)
+
+    def _run_fast(self) -> int:
+        """Drain the heap with no horizon and no watchdog — the hot path."""
+        heap = self._heap
+        heappop = heapq.heappop
+        executed = 0
+        try:
+            while heap:
+                t, _, handle = heappop(heap)
+                fn = handle.fn
+                if fn is None:  # lazily-cancelled entry
+                    self._cancelled -= 1
+                    continue
+                self._now = t
+                args = handle.args
+                handle.fn = None
+                handle.args = ()
+                fn(*args)
+                executed += 1
+        finally:
+            self._events_run += executed
+            self._running = False
+        return executed
+
+    def _run_guarded(self, until: Optional[int], max_events: Optional[int],
+                     wall_clock_s: Optional[float]) -> int:
         executed = 0
         deadline = (time.monotonic() + wall_clock_s
                     if wall_clock_s is not None else None)
         next_wall_check = executed + self.WALL_CHECK_INTERVAL
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            heap = self._heap
             while heap:
-                handle = heap[0]
-                if handle.cancelled:
-                    heapq.heappop(heap)
+                t, _, handle = heap[0]
+                if handle.fn is None:
+                    heappop(heap)
+                    self._cancelled -= 1
                     continue
-                if until is not None and handle.time > until:
+                if until is not None and t > until:
                     break
                 if max_events is not None and executed >= max_events:
                     self.aborted = True
@@ -147,16 +220,15 @@ class Simulator:
                             f"exhausted after {executed} events"
                         )
                         break
-                heapq.heappop(heap)
-                self._now = handle.time
+                heappop(heap)
+                self._now = t
                 fn, args = handle.fn, handle.args
                 handle.fn = None
                 handle.args = ()
-                assert fn is not None
                 fn(*args)
                 executed += 1
-                self._events_run += 1
         finally:
+            self._events_run += executed
             self._running = False
         if until is not None and self._now < until and not self.aborted:
             self._now = until
@@ -165,10 +237,11 @@ class Simulator:
     def peek_time(self) -> Optional[int]:
         """Time of the next pending event, or ``None`` if the heap is empty."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
-        return heap[0].time if heap else None
+            self._cancelled -= 1
+        return heap[0][0] if heap else None
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Number of live (non-cancelled) events still queued. O(1)."""
+        return len(self._heap) - self._cancelled

@@ -59,11 +59,31 @@ class TestStaticCap:
 class TestEcnMarking:
     def test_marks_when_over_threshold(self):
         q = PacketQueue(QueueConfig(ecn_threshold_bytes=1000))
-        q.push(mk_pkt(size=1200, ecn=True))  # occupancy 0 on arrival: no mark
-        p = mk_pkt(size=100, ecn=True)
-        q.push(p)  # occupancy 1200 >= K
+        first = mk_pkt(size=800, ecn=True)
+        q.push(first)  # post-enqueue occupancy 800 <= K: no mark
+        assert not first.ce
+        p = mk_pkt(size=300, ecn=True)
+        q.push(p)  # post-enqueue occupancy 1100 > K
         assert p.ce
         assert q.stats.ecn_marked == 1
+
+    def test_packet_tipping_queue_over_k_is_marked(self):
+        """DCTCP marks on the instantaneous length *including* the arriving
+        packet — the packet that pushes the queue past K gets the mark."""
+        q = PacketQueue(QueueConfig(ecn_threshold_bytes=1000))
+        p = mk_pkt(size=1200, ecn=True)
+        q.push(p)  # 0 -> 1200 crosses K in one step
+        assert p.ce
+
+    def test_exactly_at_threshold_not_marked(self):
+        """Boundary: occupancy == K is not *over* threshold (mark when > K)."""
+        q = PacketQueue(QueueConfig(ecn_threshold_bytes=1000))
+        p = mk_pkt(size=1000, ecn=True)
+        q.push(p)  # post-enqueue occupancy exactly K
+        assert not p.ce
+        p2 = mk_pkt(size=1, ecn=True)
+        q.push(p2)  # 1001 > K
+        assert p2.ce
 
     def test_no_mark_below_threshold(self):
         q = PacketQueue(QueueConfig(ecn_threshold_bytes=1000))
@@ -110,6 +130,25 @@ class TestEcnMarking:
         p = mk_pkt(size=10, ecn=True)
         q.push(p)
         assert p.ce
+
+
+class TestBacklogWatcher:
+    def test_transitions_fire_watcher(self):
+        q = PacketQueue(QueueConfig())
+        events = []
+        q.set_backlog_watcher(events.append)
+        q.push(mk_pkt())       # empty -> nonempty
+        q.push(mk_pkt())       # still nonempty: no event
+        q.pop()                # still nonempty: no event
+        q.pop()                # nonempty -> empty
+        q.push(mk_pkt())       # empty -> nonempty again
+        assert events == [True, False, True]
+
+    def test_no_watcher_is_fine(self):
+        q = PacketQueue(QueueConfig())
+        q.push(mk_pkt())
+        q.pop()
+        assert q.empty
 
 
 class TestSelectiveDropping:

@@ -122,6 +122,110 @@ class TestDwrrFairness:
         assert 0.85 < ratio < 1.15
 
 
+class TestDwrrSmallWeights:
+    """Regression tests for the pass-budget wedge: a backlogged queue with a
+    tiny weight needs ~1/weight rounds to accumulate one MTU of deficit, and
+    the pre-fix scheduler gave up after 64 passes, returned (None, None)
+    ("all empty") with packets still queued, and the port never re-armed."""
+
+    def test_weight_001_queue_drains(self):
+        sched, (q0, q1) = mk_sched((1, 1.0, None), (1, 0.01, None))
+        for _ in range(3):
+            q1.push(mk_pkt())
+        served = []
+        for _ in range(3):
+            pkt, wake = sched.next(0)
+            assert pkt is not None, (
+                "scheduler reported idle while a weight-0.01 queue was "
+                f"backlogged (wake={wake}, queued={len(q1)})"
+            )
+            served.append(pkt)
+        assert q1.empty
+        assert sched.next(0) == (None, None)
+
+    def test_both_queues_drain_with_extreme_weight_ratio(self):
+        sched, (q0, q1) = mk_sched((1, 1.0, None), (1, 0.005, None))
+        for _ in range(20):
+            q0.push(mk_pkt())
+            q1.push(mk_pkt())
+        got = 0
+        while True:
+            pkt, wake = sched.next(0)
+            if pkt is None:
+                break
+            got += 1
+            assert got <= 40
+        assert got == 40
+        assert q0.empty and q1.empty
+
+    def test_small_weight_shares_converge(self):
+        """The fast-forwarded rounds must preserve DRR shares: a 10:1 weight
+        ratio yields ~10:1 bytes even when the small weight is far below the
+        one-quantum-per-pass regime."""
+        sched, (q0, q1) = mk_sched((1, 0.5, None), (1, 0.05, None))
+        marker = {}
+        for q, tag in ((q0, 0), (q1, 1)):
+            for _ in range(600):
+                p = mk_pkt()
+                marker[id(p)] = tag
+                q.push(p)
+        counts = [0, 0]
+        for _ in range(600):
+            pkt, _ = sched.next(0)
+            counts[marker[id(pkt)]] += pkt.size
+        ratio = counts[0] / counts[1]
+        assert 8.0 < ratio < 12.0
+
+    def test_paced_small_weight_reports_wake_not_idle(self):
+        """When the only backlogged queue in a DWRR class is paced and out of
+        tokens, the scheduler must return a wake time — not (None, None) —
+        even at small weights, or the port never re-arms."""
+        bucket = TokenBucket(rate_bps=1_000_000, bucket_bytes=84)
+        sched, (q0, q1) = mk_sched((1, 1.0, None), (1, 0.01, bucket))
+        q1.push(mk_pkt(size=84))
+        pkt, _ = sched.next(0)  # bucket starts full: serves
+        assert pkt is not None
+        q1.push(mk_pkt(size=84))
+        pkt, wake = sched.next(0)
+        assert pkt is None
+        assert wake is not None and wake > 0
+        pkt, _ = sched.next(wake)
+        assert pkt is not None
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            mk_sched((1, 0.0, None), (1, 1.0, None))
+        with pytest.raises(ValueError):
+            mk_sched((1, -1.0, None))
+
+
+class TestBacklogCache:
+    def test_backlog_counters_track_queue_transitions(self):
+        sched, (q0, q1, q2) = mk_sched(
+            (0, 1.0, None), (1, 1.0, None), (1, 1.0, None))
+        assert sched._backlog == [0, 0]
+        q0.push(mk_pkt())
+        q1.push(mk_pkt())
+        assert sched._backlog == [1, 1]
+        q2.push(mk_pkt())
+        assert sched._backlog == [1, 2]
+        while sched.next(0)[0] is not None:
+            pass
+        assert sched._backlog == [0, 0]
+
+    def test_queue_nonempty_at_construction_is_counted(self):
+        q = PacketQueue(QueueConfig())
+        q.push(Packet(PacketKind.DATA, 1, 0, 1, 1500, dscp=Dscp.LEGACY))
+        sched = PortScheduler([
+            QueueSchedule(q, priority=0),
+            QueueSchedule(PacketQueue(QueueConfig()), priority=1),
+        ])
+        assert sched._backlog == [1, 0]
+        pkt, _ = sched.next(0)
+        assert pkt is not None
+        assert sched._backlog == [0, 0]
+
+
 class TestPacedQueue:
     def test_pacer_defers_service(self):
         # 84-byte credits at 100 Mbps: one credit every 6720 ns.
@@ -183,6 +287,34 @@ class TestTokenBucket:
         t = tb.eligible_at(0, 500)
         assert 500 <= t <= 502
         assert tb.can_send(t, 500)
+
+    def test_eligible_at_exact_when_deficit_divides_rate(self):
+        """Ceiling division, not int()+1: an exactly-divisible deficit is
+        eligible on the nanosecond, with no systematic 1 ns overshoot."""
+        tb = TokenBucket(8 * GBPS, 1000)  # exactly 1 byte per ns
+        tb.consume(0, 1000)
+        assert tb.eligible_at(0, 500) == 500
+        assert tb.can_send(500, 500)
+
+    def test_eligible_at_rounds_up_inexact_deficit(self):
+        tb = TokenBucket(16 * GBPS, 1000)  # 2 bytes per ns
+        tb.consume(0, 1000)
+        assert tb.eligible_at(0, 5) == 3  # 2.5 ns rounds up
+        assert tb.eligible_at(0, 4) == 2  # exact: no +1
+        assert tb.can_send(2, 4)
+
+    def test_eligible_at_credit_cadence_has_no_drift(self):
+        """84-byte credits at 1 Mbps must tick at exactly 672 us: over many
+        periods the int()+1 rounding added 1 ns per credit and drifted the
+        credit queue below its reserved rate."""
+        period = 672_000  # 84 B * 8 / 1 Mbps
+        tb = TokenBucket(rate_bps=1_000_000, bucket_bytes=84)
+        t = 0
+        tb.consume(0, 84)
+        for i in range(1, 101):
+            t = tb.eligible_at(t, 84)
+            assert t == i * period
+            tb.consume(t, 84)
 
     def test_overdraw_raises(self):
         tb = TokenBucket(GBPS, 100)

@@ -136,6 +136,76 @@ def test_events_can_schedule_more_events():
     assert ticks == [0, 10, 20, 30]
 
 
+class TestPendingAccounting:
+    """pending() is O(1) now — a live counter, not a heap scan — so these
+    pin the bookkeeping across schedule/cancel/run/compaction."""
+
+    def test_pending_tracks_schedules_and_cancels(self):
+        sim = Simulator()
+        handles = [sim.at(i, lambda: None) for i in range(10)]
+        assert sim.pending() == 10
+        for h in handles[:4]:
+            h.cancel()
+        assert sim.pending() == 6
+        handles[0].cancel()  # double-cancel must not double-count
+        assert sim.pending() == 6
+        sim.run()
+        assert sim.pending() == 0
+        assert sim.events_run == 6
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        h = sim.at(5, lambda: None)
+        sim.at(10, lambda: None)
+        sim.run()
+        h.cancel()  # already fired: must not corrupt the live count
+        assert sim.pending() == 0
+        sim.at(20, lambda: None)
+        assert sim.pending() == 1
+
+    def test_cancel_from_within_event_mid_run(self):
+        sim = Simulator()
+        fired = []
+        victim = sim.at(20, fired.append, "victim")
+        sim.at(10, victim.cancel)
+        sim.at(30, fired.append, "survivor")
+        sim.run()
+        assert fired == ["survivor"]
+        assert sim.pending() == 0
+
+    def test_compaction_shrinks_heap_and_preserves_order(self):
+        sim = Simulator()
+        keep = []
+        handles = [sim.at(i, keep.append, i) for i in range(10_000)]
+        for h in handles:
+            if h.time % 10:  # cancel 90%
+                h.cancel()
+        # Cancel-heavy workloads must not pin the calendar: the lazy entries
+        # get compacted away well before the run drains them.
+        assert len(sim._heap) < 5_000
+        assert sim.pending() == 1_000
+        sim.run()
+        assert keep == [t for t in range(10_000) if t % 10 == 0]
+        assert sim.pending() == 0
+
+    def test_compaction_during_run_keeps_draining(self):
+        """Compaction rebuilds the heap in place; a run loop holding a local
+        alias must keep seeing the live events."""
+        sim = Simulator()
+        fired = []
+        later = [sim.at(1000 + i, fired.append, 1000 + i) for i in range(2_000)]
+
+        def mass_cancel():
+            # 90% cancelled: enough for the in-run compaction to trigger
+            # (cancelled entries outnumber live ones).
+            for h in later[:1_800]:
+                h.cancel()
+
+        sim.at(0, mass_cancel)
+        sim.run()
+        assert fired == [1000 + i for i in range(1_800, 2_000)]
+
+
 @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200))
 def test_property_arbitrary_schedules_fire_sorted(times):
     sim = Simulator()

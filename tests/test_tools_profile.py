@@ -1,0 +1,108 @@
+"""Tests for benchmark-baseline recording and the profiling harness."""
+
+import importlib.util
+import json
+import os
+import sys
+
+from repro.metrics.bench import (
+    compare_to_baseline,
+    load_baseline,
+    record_bench,
+)
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_profile_tool():
+    path = os.path.join(REPO, "tools", "profile_sim.py")
+    spec = importlib.util.spec_from_file_location("profile_sim", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestBenchRecords:
+    def test_record_creates_and_merges(self, tmp_path):
+        path = str(tmp_path / "BENCH_engine.json")
+        record_bench("event_dispatch",
+                     {"events_per_sec": 1e6, "n_events": 1000}, path=path)
+        doc = record_bench("dwrr_egress",
+                           {"packets_per_sec": 5e5}, path=path)
+        assert set(doc["results"]) == {"event_dispatch", "dwrr_egress"}
+        assert doc["schema"] == 1
+        # re-recording one name replaces only that entry
+        doc = record_bench("event_dispatch",
+                           {"events_per_sec": 2e6, "n_events": 1000},
+                           path=path)
+        assert doc["results"]["event_dispatch"]["events_per_sec"] == 2e6
+        assert doc["results"]["dwrr_egress"]["packets_per_sec"] == 5e5
+        on_disk = load_baseline(path)
+        assert on_disk["results"] == doc["results"]
+
+    def test_load_missing_or_garbage_returns_none(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_baseline(str(bad)) is None
+
+    def test_compare_flags_only_regressed_rates(self):
+        baseline = {"results": {
+            "event_dispatch": {"events_per_sec": 1_000_000, "elapsed_s": 0.2},
+            "dwrr_egress": {"packets_per_sec": 500_000},
+        }}
+        current = {"results": {
+            "event_dispatch": {"events_per_sec": 990_000, "elapsed_s": 99.0},
+            "dwrr_egress": {"packets_per_sec": 100_000},
+        }}
+        problems = compare_to_baseline(current, baseline, tolerance=0.7)
+        assert len(problems) == 1
+        assert "dwrr_egress" in problems[0]
+
+    def test_compare_ignores_unknown_benchmarks(self):
+        problems = compare_to_baseline(
+            {"results": {"new_bench": {"x_per_sec": 1}}}, {"results": {}})
+        assert problems == []
+
+    def test_committed_baseline_is_valid(self):
+        """The committed reference must stay loadable and carry the three
+        core scenarios with positive rates."""
+        path = os.path.join(REPO, "benchmarks", "baselines",
+                            "BENCH_engine.json")
+        doc = load_baseline(path)
+        assert doc is not None
+        for name, rate_key in [("event_dispatch", "events_per_sec"),
+                               ("packet_forwarding", "packets_per_sec"),
+                               ("dwrr_egress", "packets_per_sec")]:
+            assert doc["results"][name][rate_key] > 0
+
+
+class TestProfileHarness:
+    def test_scenarios_run_and_record(self, tmp_path):
+        tool = _load_profile_tool()
+        out = str(tmp_path / "BENCH_engine.json")
+        rc = tool.main(["--scenario", "all", "--quick", "--json", out])
+        assert rc == 0
+        doc = json.loads(open(out).read())
+        assert set(doc["results"]) == {"event_dispatch", "packet_forwarding",
+                                       "dwrr_egress"}
+        for metrics in doc["results"].values():
+            rate = next(v for k, v in metrics.items()
+                        if k.endswith("_per_sec"))
+            assert rate > 0
+
+    def test_profile_mode_prints_stats(self, tmp_path, capsys):
+        tool = _load_profile_tool()
+        rc = tool.main(["--scenario", "dispatch", "--events", "2000",
+                        "--profile", "--top", "5"])
+        assert rc == 0
+        outp = capsys.readouterr().out
+        assert "cProfile: dispatch" in outp
+        assert "events_per_sec" in outp
+
+    def test_record_names_match_bench_suite(self):
+        """tools/profile_sim.py and benchmarks/test_bench_simulator_perf.py
+        must write the same record names or the trajectory forks."""
+        tool = _load_profile_tool()
+        assert set(tool.RECORD_NAMES.values()) == {
+            "event_dispatch", "packet_forwarding", "dwrr_egress"}

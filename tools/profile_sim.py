@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""cProfile harness for the simulator hot paths.
+
+Runs the same workloads the simulator-core benchmarks time — pure event
+dispatch, store-and-forward packet forwarding, and the strict-priority +
+DWRR egress scheduler — outside pytest, so they can be profiled, scaled,
+and scripted from CI.
+
+Examples::
+
+    # quick smoke (small sizes, no thresholds) + machine-readable record
+    python tools/profile_sim.py --scenario all --quick --json /tmp/BENCH_engine.json
+
+    # where does event dispatch spend its time?
+    python tools/profile_sim.py --scenario dispatch --profile
+
+    # scale up the scheduler microbench
+    python tools/profile_sim.py --scenario dwrr --packets 500000
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+import time
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.metrics.bench import record_bench  # noqa: E402
+from repro.net.packet import Dscp, Packet, PacketKind  # noqa: E402
+from repro.net.queues import PacketQueue, QueueConfig  # noqa: E402
+from repro.net.scheduler import PortScheduler, QueueSchedule  # noqa: E402
+from repro.net.topology import DumbbellSpec, build_dumbbell  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+
+
+def _single_queue_factory(name, rate_bps, is_host_nic):
+    """All traffic in one FIFO — the simplest valid port."""
+    q = PacketQueue(QueueConfig(name="all"))
+    classifier = {d.value: 0 for d in Dscp}
+    classifier.update({Dscp.HOMA_BASE + p: 0 for p in range(8)})
+    return [QueueSchedule(q, priority=0, weight=1.0)], classifier
+
+
+class _Recorder:
+    def __init__(self):
+        self.count = 0
+
+    def on_packet(self, pkt):
+        self.count += 1
+
+
+def scenario_dispatch(n_events: int) -> dict:
+    """Pure engine: schedule/execute ``n_events`` chained events."""
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < n_events:
+            sim.after(10, tick)
+
+    sim.at(0, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    assert count[0] == n_events
+    return {"n_events": n_events, "elapsed_s": elapsed,
+            "events_per_sec": n_events / elapsed}
+
+
+def scenario_forwarding(n_packets: int) -> dict:
+    """Fabric: push ``n_packets`` across a 3-hop dumbbell path."""
+    sim = Simulator()
+    db = build_dumbbell(sim, _single_queue_factory, DumbbellSpec(n_pairs=1))
+    rec = _Recorder()
+    db.receivers[0].register_receiver(1, rec)
+    src, dst = db.senders[0], db.receivers[0]
+    for _ in range(n_packets):
+        src.send(Packet(PacketKind.DATA, 1, src.id, dst.id, 1584,
+                        dscp=Dscp.LEGACY))
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    assert rec.count == n_packets
+    return {"n_packets": n_packets, "elapsed_s": elapsed,
+            "packets_per_sec": n_packets / elapsed,
+            "events_per_sec": sim.events_run / elapsed}
+
+
+def scenario_dwrr(n_packets: int) -> dict:
+    """Egress scheduler: drain ``n_packets`` through a 3-queue port config
+    (strict-priority credit queue + two DWRR data queues, one small-weight)."""
+    queues = [PacketQueue(QueueConfig(name=f"q{i}")) for i in range(3)]
+    sched = PortScheduler([
+        QueueSchedule(queues[0], priority=0, weight=1.0),
+        QueueSchedule(queues[1], priority=1, weight=1.0),
+        QueueSchedule(queues[2], priority=1, weight=0.05),
+    ])
+    per_queue = n_packets // 3
+    for q in queues:
+        for _ in range(per_queue):
+            q.push(Packet(PacketKind.DATA, 1, 0, 1, 1500, dscp=Dscp.LEGACY))
+    total = 3 * per_queue
+    t0 = time.perf_counter()
+    served = 0
+    while True:
+        pkt, _ = sched.next(0)
+        if pkt is None:
+            break
+        served += 1
+    elapsed = time.perf_counter() - t0
+    assert served == total, f"scheduler wedged: {served}/{total} served"
+    return {"n_packets": total, "elapsed_s": elapsed,
+            "packets_per_sec": total / elapsed}
+
+
+SCENARIOS = {
+    "dispatch": (scenario_dispatch, "events"),
+    "forwarding": (scenario_forwarding, "packets"),
+    "dwrr": (scenario_dwrr, "packets"),
+}
+
+#: benchmark-record names, kept in sync with benchmarks/test_bench_simulator_perf.py
+RECORD_NAMES = {
+    "dispatch": "event_dispatch",
+    "forwarding": "packet_forwarding",
+    "dwrr": "dwrr_egress",
+}
+
+QUICK_SIZES = {"dispatch": 20_000, "forwarding": 2_000, "dwrr": 6_000}
+FULL_SIZES = {"dispatch": 200_000, "forwarding": 20_000, "dwrr": 60_000}
+
+
+def run_scenario(name: str, size: int, profile: bool, top: int) -> dict:
+    fn, _unit = SCENARIOS[name]
+    if profile:
+        prof = cProfile.Profile()
+        prof.enable()
+        result = fn(size)
+        prof.disable()
+        stats = pstats.Stats(prof, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative")
+        print(f"\n--- cProfile: {name} ---")
+        stats.print_stats(top)
+    else:
+        result = fn(size)
+    return result
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scenario", choices=[*SCENARIOS, "all"], default="all")
+    ap.add_argument("--events", type=int, default=None,
+                    help="event count for the dispatch scenario")
+    ap.add_argument("--packets", type=int, default=None,
+                    help="packet count for forwarding/dwrr scenarios")
+    ap.add_argument("--quick", action="store_true",
+                    help="small sizes for smoke runs (CI)")
+    ap.add_argument("--profile", action="store_true",
+                    help="run under cProfile and print the hottest functions")
+    ap.add_argument("--top", type=int, default=15,
+                    help="rows of profile output to print")
+    ap.add_argument("--json", metavar="PATH", default=None,
+                    help="merge results into a BENCH_engine.json file")
+    args = ap.parse_args(argv)
+
+    names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    for name in names:
+        size = sizes[name]
+        if name == "dispatch" and args.events is not None:
+            size = args.events
+        elif name != "dispatch" and args.packets is not None:
+            size = args.packets
+        result = run_scenario(name, size, args.profile, args.top)
+        rate_key = next(k for k in result if k.endswith("_per_sec"))
+        print(f"{name:12s} {result[rate_key]:>14,.0f} {rate_key} "
+              f"({result['elapsed_s']:.3f} s)")
+        if args.json:
+            record_bench(RECORD_NAMES[name], result, path=args.json)
+    if args.json:
+        print(f"recorded -> {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
