@@ -111,3 +111,56 @@ def test_bench_dwrr_egress(benchmark):
 
     served = benchmark(run)
     assert served == 60_000
+
+
+def test_bench_packet_pool(benchmark):
+    """Pool: acquire/release churn across two interleaved flows (the host
+    TX -> fabric -> sink lifetime pattern, batched like a draining queue)."""
+    from repro.net.packet import PacketPool
+
+    def run():
+        pool = PacketPool(max_size=4096)
+        n = 200_000
+        t0 = time.perf_counter()
+        live = []
+        for i in range(n):
+            pkt = pool.acquire(PacketKind.DATA, 1 + (i & 1), 0, 1, 1584,
+                               seq=i, dscp=Dscp.LEGACY)
+            live.append(pkt)
+            if len(live) >= 32:
+                for p in live[:16]:
+                    pool.release(p)
+                del live[:16]
+        for p in live:
+            pool.release(p)
+        elapsed = time.perf_counter() - t0
+        _record_rate("packet_pool", n, elapsed, "packets",
+                     reuse_ratio=pool.reused / pool.acquired)
+        return pool.released
+
+    released = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert released == 200_000
+
+
+def test_bench_sweep_throughput(benchmark):
+    """Sweep: stream a batch of tiny Clos experiments through run_many
+    (imap_unordered + packed records), the figure-sweep execution path."""
+    from repro.experiments.config import ExperimentConfig, SchemeName
+    from repro.experiments.parallel import FailedResult, run_many
+
+    def run():
+        n = 8
+        configs = [
+            ExperimentConfig(scheme=SchemeName.DCTCP, sim_time_ns=1_000_000,
+                             load=0.3, seed=seed)
+            for seed in range(1, n + 1)
+        ]
+        t0 = time.perf_counter()
+        results = run_many(configs)
+        elapsed = time.perf_counter() - t0
+        assert not any(isinstance(r, FailedResult) for r in results)
+        _record_rate("sweep_throughput", n, elapsed, "configs")
+        return len(results)
+
+    count = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert count == 8

@@ -29,6 +29,7 @@ from repro.net.packet import (
     MSS,
     Packet,
     PacketKind,
+    alloc_packet,
     data_wire_size,
 )
 from repro.transports.base import CompletionCallback, FlowSpec, FlowStats
@@ -134,7 +135,7 @@ class FlexPassSender:
     # ----------------------------------------------------- credit request
 
     def _send_request(self) -> None:
-        req = Packet(
+        req = alloc_packet(
             PacketKind.CREDIT_REQUEST, self.spec.flow_id,
             self.spec.src.id, self.spec.dst.id, CREDIT_WIRE_BYTES,
             dscp=self.params.ctrl_dscp, meta=self.spec.size_bytes,
@@ -184,7 +185,7 @@ class FlexPassSender:
         self._pmap.append(seg.idx)
         self.buffer.mark_sent_proactive(seg.idx, pseq)
         self.p_scoreboard.on_send(pseq, self.sim.now)
-        pkt = Packet(
+        pkt = alloc_packet(
             PacketKind.DATA, self.spec.flow_id, self.spec.src.id, self.spec.dst.id,
             data_wire_size(seg.payload), payload=seg.payload,
             dscp=self.params.proactive_data_dscp, color=Color.GREEN,
@@ -270,7 +271,7 @@ class FlexPassSender:
             self._rmap.append(seg.idx)
             self.buffer.mark_sent_reactive(seg.idx, rseq)
             self.r_scoreboard.on_send(rseq, self.sim.now)
-            pkt = Packet(
+            pkt = alloc_packet(
                 PacketKind.DATA, self.spec.flow_id,
                 self.spec.src.id, self.spec.dst.id,
                 data_wire_size(seg.payload), payload=seg.payload,
@@ -430,7 +431,7 @@ class FlexPassReceiver:
     # -------------------------------------------------------------- acks
 
     def _send_ack(self, data: Packet, subflow: int, board: ReceiveScoreboard) -> None:
-        ack = Packet(
+        ack = alloc_packet(
             PacketKind.ACK, self.spec.flow_id, self.spec.dst.id, self.spec.src.id,
             ACK_WIRE_BYTES, dscp=self.params.ack_dscp,
             ack=board.cum, sack=board.sack(),
@@ -442,7 +443,7 @@ class FlexPassReceiver:
 
     def _send_summary_acks(self) -> None:
         for subflow, board in ((PROACTIVE, self.p_board), (REACTIVE, self.r_board)):
-            ack = Packet(
+            ack = alloc_packet(
                 PacketKind.ACK, self.spec.flow_id,
                 self.spec.dst.id, self.spec.src.id,
                 ACK_WIRE_BYTES, dscp=self.params.ack_dscp,

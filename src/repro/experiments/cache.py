@@ -1,0 +1,166 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A sweep iterates on plotting and analysis far more often than on the
+simulator itself; re-running sixty clean simulations to tweak a figure is
+pure waste. The cache keys each :class:`ExperimentConfig` by a stable
+content hash — every field, recursively through nested dataclasses, enums,
+and fault plans — salted with a code-version string, and stores the
+result with its flow records packed into typed columns
+(:class:`repro.metrics.fct.PackedFlowRecords`).
+
+Keying rules (also documented in DESIGN.md §6d):
+
+* The key is ``sha256(salt || canonical(config))``. ``canonical`` renders
+  the config as a nested tuple tree: dataclasses become
+  ``(classname, (field, value)...)`` in field order, enums their values,
+  floats ``repr``'d (so 0.5 and 0.25 never collide via rounding).
+  Any config field change — seed, load, a nested queue threshold, a fault
+  plan — therefore changes the key.
+* The salt defaults to :data:`DEFAULT_CODE_SALT`, which MUST be bumped in
+  any PR that changes simulation behavior; ``REPRO_CACHE_SALT`` overrides
+  it (tests, emergency invalidation).
+* Failures are never cached: a :class:`FailedResult` or an aborted
+  (watchdog-stopped) result always re-runs next sweep.
+
+Storage is one pickle per key under ``root/<key[:2]>/<key>.pkl``, written
+atomically (temp file + rename) so a crashed sweep cannot leave a torn
+entry behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.fct import PackedFlowRecords
+
+#: Bump whenever simulation semantics change, so stale results cannot leak
+#: across PRs. ``REPRO_CACHE_SALT`` overrides (emergency invalidation).
+DEFAULT_CODE_SALT = "sim-v3"
+
+
+def canonicalize(value) -> object:
+    """Render a config value as a nested tuple tree with a stable repr."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (f.name, canonicalize(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, canonicalize(value.value))
+    if isinstance(value, (list, tuple)):
+        return tuple(canonicalize(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted(
+            (canonicalize(k), canonicalize(v)) for k, v in value.items()
+        ))
+    if isinstance(value, float):
+        # repr is exact for floats; str() of e.g. numpy scalars is not.
+        return f"f:{value!r}"
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return value
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__} for cache keying; "
+        f"add a case (silently repr()-ing it could make distinct configs "
+        f"collide)"
+    )
+
+
+def config_key(config, salt: Optional[str] = None) -> str:
+    """Stable content hash of a config, salted by code version."""
+    if salt is None:
+        salt = os.environ.get("REPRO_CACHE_SALT", DEFAULT_CODE_SALT)
+    payload = repr((salt, canonicalize(config))).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+class ExperimentCache:
+    """Directory-backed result cache, keyed by config content hash."""
+
+    def __init__(self, root: Union[str, Path], salt: Optional[str] = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.skipped = 0  # puts refused (failed/aborted results)
+
+    # ------------------------------------------------------------- lookup
+
+    def key(self, config) -> str:
+        return config_key(config, self.salt)
+
+    def path(self, config) -> Path:
+        key = self.key(config)
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, config) -> Optional[ExperimentResult]:
+        """Return the cached result for ``config``, or None on a miss."""
+        path = self.path(config)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (pickle.UnpicklingError, ValueError, EOFError, AttributeError):
+            # A torn or stale-schema entry reads as a miss; the fresh run
+            # will overwrite it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        stripped, packed = payload
+        return dataclasses.replace(stripped, records=packed.unpack())
+
+    def put(self, config, result) -> bool:
+        """Store a result. Returns False (and stores nothing) for failures.
+
+        Failed and aborted results must never be served from cache — they
+        are exactly the runs a retry might fix.
+        """
+        if not isinstance(result, ExperimentResult) or result.aborted:
+            self.skipped += 1
+            return False
+        packed = PackedFlowRecords.pack(result.records)
+        stripped = dataclasses.replace(result, records=[])
+        path = self.path(config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump((stripped, packed), fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return True
+
+    # ------------------------------------------------------------ stats
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "skipped": self.skipped,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ExperimentCache {self.root} hits={self.hits} "
+                f"misses={self.misses} stores={self.stores}>")

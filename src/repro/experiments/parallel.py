@@ -6,6 +6,23 @@ parallelize simulations" — same here: configurations are embarrassingly
 parallel, and both :class:`ExperimentConfig` and :class:`ExperimentResult`
 are plain picklable data, so a process pool maps over them directly.
 
+Execution model (PR 3):
+
+* Work streams through ``imap_unordered`` with explicit chunking — the
+  parent consumes each result the moment its worker finishes instead of
+  blocking on a full ``map``, so one slow config cannot stall progress
+  reporting or cache writes for the rest of the sweep.
+* Each worker keys its result by config index; the parent slots results
+  back into a ``len(configs)``-sized list, so callers always see exactly
+  one entry per config, in config order, regardless of completion order.
+* Workers pack flow records into typed columns
+  (:class:`repro.metrics.fct.PackedFlowRecords`) before pickling — tens of
+  thousands of dataclasses become a handful of contiguous buffers on the
+  worker→parent hop.
+* An optional on-disk :class:`repro.experiments.cache.ExperimentCache`
+  short-circuits configs whose results are already stored; fresh clean
+  results are written back as they arrive.
+
 A sweep of N configs must not die because one config is broken or one
 worker leaks: exceptions are captured per config into a
 :class:`FailedResult` (with the full traceback and the offending config
@@ -15,18 +32,27 @@ simulation cannot poison a long sweep.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
+import time
 import traceback
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from repro.experiments.cache import ExperimentCache
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.metrics.fct import PackedFlowRecords
+
+logger = logging.getLogger(__name__)
 
 #: Pool workers are replaced after this many simulations, bounding the
 #: damage a slow memory leak in any one config can do to a long sweep.
 DEFAULT_MAX_TASKS_PER_CHILD = 16
+
+#: Progress is logged at least this often (seconds) while results stream in.
+PROGRESS_LOG_PERIOD_S = 10.0
 
 
 @dataclass
@@ -49,8 +75,6 @@ class FailedResult:
 
 
 def _worker(cfg: ExperimentConfig) -> Union[ExperimentResult, FailedResult]:
-    # Results are already plain data (records are FlowRecords, the config a
-    # plain dataclass), so nothing needs stripping before pickling back.
     try:
         return run_experiment(cfg)
     except Exception as exc:  # noqa: BLE001 - the whole point is containment
@@ -58,11 +82,40 @@ def _worker(cfg: ExperimentConfig) -> Union[ExperimentResult, FailedResult]:
                             traceback=traceback.format_exc())
 
 
+def _indexed_worker(item: Tuple[int, ExperimentConfig]):
+    """Pool task: run one config, return ``(index, packed result)``.
+
+    The index key makes completion order irrelevant; packing shrinks the
+    result's pickle before it crosses the process boundary.
+    """
+    index, cfg = item
+    result = _worker(cfg)
+    if isinstance(result, ExperimentResult):
+        packed = PackedFlowRecords.pack(result.records)
+        return index, replace(result, records=[]), packed
+    return index, result, None
+
+
+def _unpack(result, packed) -> Union[ExperimentResult, FailedResult]:
+    if packed is None:
+        return result
+    return replace(result, records=packed.unpack())
+
+
+def default_chunksize(pending: int, processes: int) -> int:
+    """Chunk so each worker sees ~4 batches (amortizes IPC without letting
+    one chunk of slow configs serialize the tail), capped at 8."""
+    return max(1, min(8, pending // (processes * 4) or 1))
+
+
 def run_many(
     configs: Sequence[ExperimentConfig],
     processes: Optional[int] = None,
     retry_failed: bool = False,
     max_tasks_per_child: Optional[int] = DEFAULT_MAX_TASKS_PER_CHILD,
+    cache: Optional[Union[ExperimentCache, str, os.PathLike]] = None,
+    chunksize: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> List[Union[ExperimentResult, FailedResult]]:
     """Run experiments, one process per CPU (serial when only one CPU or a
     single config — avoids pool overhead and keeps tracebacks simple).
@@ -72,22 +125,82 @@ def run_many(
     ``retry_failed`` re-runs each failed config exactly once (transient
     failures — OOM kills, flaky I/O — often clear on retry; deterministic
     bugs fail again and keep their FailedResult, marked ``retried``).
+
+    ``cache`` (an :class:`ExperimentCache` or a directory path) serves
+    already-stored configs without simulating them and stores fresh clean
+    results. ``chunksize`` overrides the ``imap_unordered`` batching.
+    ``progress(done, total)`` is called after every completed config, cache
+    hits included.
     """
-    if processes is None:
-        processes = os.cpu_count() or 1
-    processes = min(processes, len(configs))
-    if processes <= 1:
-        results = [_worker(cfg) for cfg in configs]
-    else:
-        with multiprocessing.Pool(
-            processes=processes, maxtasksperchild=max_tasks_per_child
-        ) as pool:
-            results = pool.map(_worker, list(configs))
+    total = len(configs)
+    results: List[Optional[Union[ExperimentResult, FailedResult]]] = (
+        [None] * total
+    )
+    if cache is not None and not isinstance(cache, ExperimentCache):
+        cache = ExperimentCache(cache)
+
+    done = 0
+    last_log = time.monotonic()
+
+    def note_done(index: int) -> None:
+        nonlocal done, last_log
+        done += 1
+        if progress is not None:
+            progress(done, total)
+        now = time.monotonic()
+        if done == total or now - last_log >= PROGRESS_LOG_PERIOD_S:
+            last_log = now
+            failed = sum(1 for r in results if isinstance(r, FailedResult))
+            logger.info("sweep progress: %d/%d configs done (%d failed)",
+                        done, total, failed)
+
+    # Cache pass: anything already stored never reaches the pool.
+    pending: List[Tuple[int, ExperimentConfig]] = []
+    for i, cfg in enumerate(configs):
+        hit = cache.get(cfg) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+            note_done(i)
+        else:
+            pending.append((i, cfg))
+    if cache is not None and total and not pending:
+        logger.info("sweep fully served from cache (%d configs)", total)
+
+    if pending:
+        if processes is None:
+            processes = os.cpu_count() or 1
+        processes = min(processes, len(pending))
+        if processes <= 1:
+            for i, cfg in pending:
+                result = _worker(cfg)
+                results[i] = result
+                if cache is not None:
+                    cache.put(cfg, result)
+                note_done(i)
+        else:
+            if chunksize is None:
+                chunksize = default_chunksize(len(pending), processes)
+            with multiprocessing.Pool(
+                processes=processes, maxtasksperchild=max_tasks_per_child
+            ) as pool:
+                for index, stripped, packed in pool.imap_unordered(
+                    _indexed_worker, pending, chunksize=chunksize
+                ):
+                    result = _unpack(stripped, packed)
+                    results[index] = result
+                    if cache is not None:
+                        cache.put(configs[index], result)
+                    note_done(index)
+
     if retry_failed:
         for i, result in enumerate(results):
             if isinstance(result, FailedResult):
                 second = _worker(result.config)
                 if isinstance(second, FailedResult):
                     second.retried = True
+                elif cache is not None:
+                    cache.put(result.config, second)
                 results[i] = second
-    return results
+
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.faults.counters import FaultCounters
 from repro.faults.models import LossModel, PredicateLoss
+from repro.net.packet import free_packet
 
 if TYPE_CHECKING:  # pragma: no cover
     from typing import Callable
@@ -61,6 +62,16 @@ class FaultyLink:
         self._flight_seq = 0
 
     # ----------------------------------------------------------------- wire
+
+    def carry_after(self, extra_ns: int, pkt: "Packet") -> None:
+        """Coalesced-TX entry point (see :meth:`repro.net.link.Link.carry_after`).
+
+        Fault decisions must happen when the packet actually reaches the wire
+        (serialization end), not at TX start — a link that fails mid-
+        transmission should still destroy the frame. So instead of folding
+        the propagation delay into one event, defer ``carry`` itself.
+        """
+        self.sim.after(extra_ns, self.carry, pkt)
 
     def carry(self, pkt: "Packet") -> None:
         """Propagate, lose, or corrupt one packet."""
@@ -119,6 +130,9 @@ class FaultyLink:
     def _record(self, pkt: "Packet") -> None:
         if self._keep_dropped:
             self.dropped.append(pkt)
+        else:
+            # Nothing retains the frame: recycle it (no-op for unpooled ones).
+            free_packet(pkt)
 
 
 class LossyLink(FaultyLink):

@@ -101,6 +101,52 @@ def compare_to_baseline(current: dict, baseline: dict,
     return problems
 
 
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: ``python -m repro.metrics.bench compare CURRENT BASELINE``.
+
+    Exits 1 when any rate metric in CURRENT regressed below
+    ``--tolerance`` × BASELINE (CI perf gate), 2 on unreadable inputs.
+    """
+    import argparse
+
+    ap = argparse.ArgumentParser(prog="repro.metrics.bench",
+                                 description=__doc__.splitlines()[0])
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    cmp_p = sub.add_parser(
+        "compare", help="compare a fresh BENCH_engine.json against a baseline"
+    )
+    cmp_p.add_argument("current", help="freshly recorded BENCH_engine.json")
+    cmp_p.add_argument("baseline", help="committed baseline to compare against")
+    cmp_p.add_argument("--tolerance", type=float, default=0.75,
+                       help="fail when a rate drops below this fraction of "
+                            "baseline (default 0.75 = >25%% regression)")
+    args = ap.parse_args(argv)
+
+    current = load_baseline(args.current)
+    if current is None:
+        print(f"error: cannot read current results from {args.current}")
+        return 2
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print(f"error: cannot read baseline from {args.baseline}")
+        return 2
+    problems = compare_to_baseline(current, baseline,
+                                   tolerance=args.tolerance)
+    compared = sorted(
+        name for name in current.get("results", {})
+        if name in baseline.get("results", {})
+    )
+    if problems:
+        print(f"perf regression vs {args.baseline} "
+              f"(tolerance {args.tolerance:.0%}):")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    print(f"perf ok: {len(compared)} benchmark(s) within "
+          f"{args.tolerance:.0%} of baseline ({', '.join(compared)})")
+    return 0
+
+
 def _atomic_write_json(path: str, doc: dict) -> None:
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -115,3 +161,9 @@ def _atomic_write_json(path: str, doc: dict) -> None:
         except OSError:
             pass
         raise
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    import sys
+
+    sys.exit(main())

@@ -8,6 +8,7 @@ coexistence figures (12, 13).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional
 
@@ -116,3 +117,88 @@ def completion_ratio(records: Iterable[FlowRecord]) -> float:
     if not records:
         return float("nan")
     return sum(1 for r in records if r.completed) / len(records)
+
+
+# ------------------------------------------------------------------ packing
+
+#: FlowRecord integer fields, in declaration order.
+_PACK_INT_FIELDS = (
+    "flow_id", "size_bytes", "start_ns", "fct_ns", "timeouts",
+    "retransmissions", "proactive_retransmissions", "credits_sent",
+    "credits_wasted", "duplicate_bytes", "max_reorder_bytes",
+    "proactive_bytes", "reactive_bytes",
+)
+
+#: FlowRecord label (string) fields; low-cardinality, vocab-encoded.
+_PACK_LABEL_FIELDS = ("scheme", "group", "role")
+
+
+class PackedFlowRecords:
+    """A list of :class:`FlowRecord` as typed columns.
+
+    A sweep worker returns tens of thousands of records per config; as a
+    list of dataclasses they pickle as one object graph per record. Packed,
+    the same data is 13 ``array('q')`` columns plus three small
+    vocab-encoded label columns — a single contiguous buffer each, which
+    both the worker→parent pickle hop and the on-disk experiment cache
+    move at a fraction of the cost. ``unpack`` reproduces the records
+    exactly (all fields are ints or interned label strings).
+    """
+
+    __slots__ = ("count", "columns", "label_vocabs", "label_codes")
+
+    def __init__(self, count, columns, label_vocabs, label_codes) -> None:
+        self.count = count
+        #: field name -> array('q') of per-record values
+        self.columns = columns
+        #: field name -> list of distinct label strings
+        self.label_vocabs = label_vocabs
+        #: field name -> array('H') of indices into the field's vocab
+        self.label_codes = label_codes
+
+    def __len__(self) -> int:
+        return self.count
+
+    @classmethod
+    def pack(cls, records: List[FlowRecord]) -> "PackedFlowRecords":
+        columns = {
+            name: array("q", (getattr(r, name) for r in records))
+            for name in _PACK_INT_FIELDS
+        }
+        label_vocabs = {}
+        label_codes = {}
+        for name in _PACK_LABEL_FIELDS:
+            vocab: List[str] = []
+            index = {}
+            codes = array("H")
+            for r in records:
+                label = getattr(r, name)
+                code = index.get(label)
+                if code is None:
+                    code = index[label] = len(vocab)
+                    vocab.append(label)
+                codes.append(code)
+            label_vocabs[name] = vocab
+            label_codes[name] = codes
+        return cls(len(records), columns, label_vocabs, label_codes)
+
+    def unpack(self) -> List[FlowRecord]:
+        cols = [self.columns[name] for name in _PACK_INT_FIELDS]
+        schemes = [self.label_vocabs["scheme"][c]
+                   for c in self.label_codes["scheme"]]
+        groups = [self.label_vocabs["group"][c]
+                  for c in self.label_codes["group"]]
+        roles = [self.label_vocabs["role"][c] for c in self.label_codes["role"]]
+        return [
+            FlowRecord(
+                flow_id=fid, scheme=scheme, group=group, role=role,
+                size_bytes=size, start_ns=start, fct_ns=fct,
+                timeouts=to, retransmissions=rtx,
+                proactive_retransmissions=prtx, credits_sent=cs,
+                credits_wasted=cw, duplicate_bytes=dup,
+                max_reorder_bytes=reo, proactive_bytes=pb, reactive_bytes=rb,
+            )
+            for (fid, size, start, fct, to, rtx, prtx, cs, cw, dup, reo,
+                 pb, rb), scheme, group, role
+            in zip(zip(*cols), schemes, groups, roles)
+        ]

@@ -38,13 +38,15 @@ class SharedBuffer:
         Applies both the dynamic per-queue threshold and the hard capacity.
         On success the bytes are charged to the shared pool.
         """
-        if self.used + pkt_bytes > self.capacity:
+        used = self.used + pkt_bytes
+        if used > self.capacity:
             self.drops += 1
             return False
-        if queue_bytes + pkt_bytes > self.threshold():
+        # inline ``threshold()`` — this runs once per admitted packet
+        if queue_bytes + pkt_bytes > self.alpha * (self.capacity - self.used):
             self.drops += 1
             return False
-        self.used += pkt_bytes
+        self.used = used
         return True
 
     def release(self, pkt_bytes: int) -> None:

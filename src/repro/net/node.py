@@ -13,6 +13,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class Node:
     """A device with an id, a name, and egress ports keyed by peer node id."""
 
+    __slots__ = ("sim", "id", "name", "ports")
+
     def __init__(self, sim: "Simulator", node_id: int, name: str) -> None:
         self.sim = sim
         self.id = node_id

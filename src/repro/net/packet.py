@@ -15,7 +15,8 @@ overhead including inter-frame gap), and credits/ACKs are minimum-size
 from __future__ import annotations
 
 import enum
-from typing import Optional, Tuple
+import os
+from typing import List, Optional, Tuple
 
 #: Maximum segment size — application payload bytes per data packet.
 MSS = 1500
@@ -101,6 +102,7 @@ class Packet:
         "subflow",
         "sent_at",
         "meta",
+        "_pooled",
     )
 
     def __init__(
@@ -140,6 +142,7 @@ class Packet:
         self.subflow = subflow
         self.sent_at = sent_at
         self.meta = meta
+        self._pooled = False  # True only while checked out of a PacketPool
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -152,3 +155,142 @@ class Packet:
 def data_wire_size(payload_bytes: int) -> int:
     """Wire size of a data packet carrying ``payload_bytes``."""
     return payload_bytes + DATA_HEADER_BYTES
+
+
+# --------------------------------------------------------------------- pool
+
+#: Field values a released packet is stamped with in debug mode. Any of them
+#: leaking into protocol logic blows up loudly (negative sizes, absurd ids).
+_POISON = -0x7D15EA5E  # "poisoned"
+
+
+class PacketPool:
+    """A freelist of :class:`Packet` objects for the simulation hot path.
+
+    A simulation at Clos-sweep scale churns through millions of packets whose
+    lifetime is a handful of events (host TX -> a few queues -> receiver
+    sink). Recycling them through a pool skips the allocator on the hottest
+    path; ``acquire`` re-runs ``Packet.__init__`` so a reused packet is
+    indistinguishable from a fresh one.
+
+    Ownership rules (see DESIGN.md §6d):
+
+    * ``acquire`` transfers ownership to the caller; the packet flows through
+      the fabric with its events.
+    * The *final consumer* releases: the host that delivered it to an
+      endpoint, or whatever dropped it (switch routing failure, a full
+      queue, a failed link).
+    * ``release`` is a no-op for packets not checked out of a pool, so
+      drop/deliver sites can release unconditionally and hand-built test
+      packets stay untouched.
+
+    In debug mode (``debug=True``, or ``REPRO_PACKET_POOL_DEBUG=1`` for the
+    default pool) released packets are *poisoned*: every header field is
+    stamped with an absurd sentinel so any use-after-release surfaces as a
+    loud nonsense value, and releasing the same packet twice raises.
+    """
+
+    __slots__ = ("max_size", "debug", "_free", "acquired", "released",
+                 "reused")
+
+    def __init__(self, max_size: int = 8192, debug: bool = False) -> None:
+        if max_size < 0:
+            raise ValueError("pool max_size must be nonnegative")
+        self.max_size = max_size
+        self.debug = debug
+        self._free: List[Packet] = []
+        self.acquired = 0
+        self.released = 0
+        self.reused = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(
+        self,
+        kind: PacketKind,
+        flow_id: int,
+        src: int,
+        dst: int,
+        size: int,
+        **kwargs,
+    ) -> Packet:
+        """Check a packet out of the pool (or allocate a fresh one)."""
+        self.acquired += 1
+        free = self._free
+        if free:
+            pkt = free.pop()
+            self.reused += 1
+            if self.debug and pkt.kind != _POISON:
+                raise RuntimeError(
+                    "packet pool corruption: a pooled packet was mutated "
+                    "after release (use-after-release)"
+                )
+            Packet.__init__(pkt, kind, flow_id, src, dst, size, **kwargs)
+        else:
+            pkt = Packet(kind, flow_id, src, dst, size, **kwargs)
+        pkt._pooled = True
+        return pkt
+
+    def release(self, pkt: Packet) -> None:
+        """Return a packet to the pool.
+
+        Safe to call on any packet: hand-built (non-pooled) packets are
+        ignored, so every drop/deliver site can release unconditionally.
+        """
+        if not pkt._pooled:
+            if self.debug and pkt.kind == _POISON:
+                raise RuntimeError(
+                    f"double release of pooled packet {id(pkt):#x}"
+                )
+            return
+        pkt._pooled = False
+        self.released += 1
+        if self.debug:
+            self._poison(pkt)
+        if len(self._free) < self.max_size:
+            self._free.append(pkt)
+
+    @staticmethod
+    def _poison(pkt: Packet) -> None:
+        pkt.kind = _POISON  # type: ignore[assignment]
+        pkt.flow_id = _POISON
+        pkt.src = _POISON
+        pkt.dst = _POISON
+        pkt.size = _POISON
+        pkt.payload = _POISON
+        pkt.seq = _POISON
+        pkt.flow_seq = _POISON
+        pkt.ack = _POISON
+        pkt.sack = ()
+        pkt.meta = None
+
+    @staticmethod
+    def is_poisoned(pkt: Packet) -> bool:
+        """True if ``pkt`` carries the released-packet stamp (debug mode)."""
+        return pkt.kind == _POISON
+
+
+#: Process-wide default pool. Each worker process of a sweep gets its own
+#: copy (module state does not cross ``multiprocessing`` boundaries).
+_DEFAULT_POOL = PacketPool(
+    debug=bool(os.environ.get("REPRO_PACKET_POOL_DEBUG"))
+)
+
+
+def packet_pool() -> PacketPool:
+    """The process-wide default pool (stats, debug flag, tests)."""
+    return _DEFAULT_POOL
+
+
+def alloc_packet(
+    kind: PacketKind, flow_id: int, src: int, dst: int, size: int, **kwargs
+) -> Packet:
+    """Acquire a packet from the default pool — drop-in for ``Packet(...)``
+    on transport TX paths."""
+    return _DEFAULT_POOL.acquire(kind, flow_id, src, dst, size, **kwargs)
+
+
+def free_packet(pkt: Packet) -> None:
+    """Release a packet to the default pool (no-op for non-pooled packets)."""
+    _DEFAULT_POOL.release(pkt)

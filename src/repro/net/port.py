@@ -5,6 +5,16 @@ classified by DSCP into one of the port's queues, passes per-queue admission
 (selective dropping, static caps), then shared-buffer admission (dynamic
 threshold), and finally waits for the two-level scheduler to pick it. The
 port serializes exactly one packet at a time onto its link.
+
+Hot-path structure (PR 3): transmissions are *coalesced* — at transmit start
+the port schedules the packet's arrival at the far end as one event
+(``link.carry_after``) and only schedules a second "wire free" event when
+something will actually need the wire at that instant (backlog remains, or a
+monitor wants the exact serialization-end callback). A pass-through packet on
+an idle port therefore costs one scheduled event per hop instead of two.
+Shared-buffer bytes are released when the packet leaves its queue (transmit
+start): the buffer tracks *queued* bytes, the serializer slot is free
+(DESIGN.md §6d).
 """
 
 from __future__ import annotations
@@ -25,6 +35,11 @@ TxMonitor = Callable[[int, Packet], None]
 
 class EgressPort:
     """An output port: classifier + queues + scheduler + serializer."""
+
+    __slots__ = ("sim", "name", "rate_bps", "buffer", "scheduler", "_queues",
+                 "classifier", "link", "monitors", "dropped_unclassified",
+                 "_wake_handle", "_serve_pending", "_free_at", "_tx_cache",
+                 "_sched_next", "_has_backlog", "_q_unpaced", "_multi")
 
     def __init__(
         self,
@@ -48,10 +63,26 @@ class EgressPort:
         self._queues = self.scheduler.queues
         self.classifier = classifier
         self.link = link
-        self.busy = False
         self.monitors: List[TxMonitor] = []
         self.dropped_unclassified = 0
         self._wake_handle: Optional["EventHandle"] = None
+        #: a "serve the next packet" event is queued (wire busy + work waiting)
+        self._serve_pending = False
+        #: the wire is serializing until this instant
+        self._free_at = 0
+        #: serialization delay per wire size — few distinct sizes per run
+        self._tx_cache: Dict[int, int] = {}
+        #: bound-method caches; the scheduler never changes after construction
+        self._sched_next = self.scheduler.next
+        self._has_backlog = self.scheduler.has_backlog
+        #: per-queue-index flag: eligible for cut-through (no pacer)
+        self._q_unpaced = [s.pacer is None for s in schedules]
+        self._multi = len(schedules) > 1
+
+    @property
+    def busy(self) -> bool:
+        """True while a packet is being serialized onto the link."""
+        return self.sim.now < self._free_at
 
     # ------------------------------------------------------------------ RX
 
@@ -65,14 +96,61 @@ class EgressPort:
                 f"port {self.name}: no queue configured for DSCP {pkt.dscp}"
             )
         queue = self._queues[qidx]
+        if (not queue._fifo and not self._serve_pending
+                and self.sim.now >= self._free_at
+                and self._q_unpaced[qidx] and not self.monitors
+                and not (self._multi and self._has_backlog())):
+            # Cut-through: idle wire, fully drained port, unpaced target
+            # queue, no exact tx-end observers — transmit right away without
+            # a FIFO round trip or a scheduler visit. Admission, stats, and
+            # ECN marking are byte-identical to the queued path (zero
+            # residence time), and with every queue empty the scheduler
+            # could only have picked this packet anyway.
+            return self._cut_through(qidx, queue, pkt)
         if not queue.admit(pkt):
             return False
         if not self.buffer.try_admit(queue.byte_count, pkt.size):
             queue.count_buffer_drop()
             return False
         queue.push(pkt)
-        if not self.busy:
-            self._kick()
+        if self._wake_handle is not None:
+            # A new packet can beat a paced queue's projected wake time;
+            # re-evaluate from scratch.
+            self._wake_handle.cancel()
+            self._wake_handle = None
+        if not self._serve_pending:
+            if self.sim.now >= self._free_at:
+                self._serve()
+            else:
+                # Wire busy with nothing scheduled at its release (the
+                # in-flight packet left an empty backlog behind): arm the
+                # serve event this packet now needs.
+                self._serve_pending = True
+                self.sim.post_at(self._free_at, self._serve_event)
+        return True
+
+    def _cut_through(self, qidx: int, queue, pkt: Packet) -> bool:
+        """Admit-and-transmit for a packet meeting an idle, empty port."""
+        if not queue.admit(pkt):
+            return False
+        size = pkt.size
+        buf = self.buffer
+        # Same two checks as ``SharedBuffer.try_admit``, but the pool is
+        # never charged: the packet leaves its queue the instant it enters.
+        free = buf.capacity - buf.used
+        if size > free or size > buf.alpha * free:
+            buf.drops += 1
+            queue.count_buffer_drop()
+            return False
+        queue.record_transit(pkt)
+        if self._multi:
+            self.scheduler.note_cut_through(qidx)
+        txt = self._tx_cache.get(size)
+        if txt is None:
+            txt = tx_time_ns(size, self.rate_bps)
+            self._tx_cache[size] = txt
+        self._free_at = self.sim.now + txt
+        self.link.carry_after(txt, pkt)
         return True
 
     # ------------------------------------------------------------------ TX
@@ -82,30 +160,56 @@ class EgressPort:
         if self._wake_handle is not None:
             self._wake_handle.cancel()
             self._wake_handle = None
-        self._try_transmit()
+        if not self._serve_pending and self.sim.now >= self._free_at:
+            self._serve()
 
-    def _try_transmit(self) -> None:
-        if self.busy:
-            return
-        pkt, wake = self.scheduler.next(self.sim.now)
-        if pkt is not None:
-            self.busy = True
-            self.sim.after(tx_time_ns(pkt.size, self.rate_bps), self._tx_done, pkt)
-        elif wake is not None:
-            self._wake_handle = self.sim.at(max(wake, self.sim.now), self._on_wake)
+    def _serve_event(self) -> None:
+        self._serve_pending = False
+        self._serve()
 
     def _on_wake(self) -> None:
         self._wake_handle = None
-        self._try_transmit()
+        if not self._serve_pending and self.sim.now >= self._free_at:
+            self._serve()
+
+    def _serve(self) -> None:
+        """Start the next transmission. Call only when the wire is idle."""
+        sim = self.sim
+        now = sim.now
+        pkt, wake = self._sched_next(now)
+        if pkt is None:
+            if wake is not None:
+                self._wake_handle = sim.at(max(wake, now), self._on_wake)
+            return
+        size = pkt.size
+        txt = self._tx_cache.get(size)
+        if txt is None:
+            txt = tx_time_ns(size, self.rate_bps)
+            self._tx_cache[size] = txt
+        # The packet left its queue: its bytes stop counting against the
+        # shared buffer now (the buffer limits *queued* bytes).
+        self.buffer.release(size)
+        self._free_at = now + txt
+        if self.monitors:
+            # Exact serialization-end semantics for monitors: a dedicated
+            # tx-done event fires them at the moment the wire goes idle.
+            self._serve_pending = True
+            sim.post(txt, self._tx_done, pkt)
+            return
+        self.link.carry_after(txt, pkt)
+        if self._has_backlog():
+            self._serve_pending = True
+            sim.post(txt, self._serve_event)
+        # else: coalesced fast path — no tx-done event; the next enqueue
+        # (or nothing) decides what happens when the wire frees.
 
     def _tx_done(self, pkt: Packet) -> None:
-        self.buffer.release(pkt.size)
-        self.busy = False
+        self._serve_pending = False
         now = self.sim.now
         for monitor in self.monitors:
             monitor(now, pkt)
         self.link.carry(pkt)
-        self._try_transmit()
+        self._serve()
 
     # ------------------------------------------------------------- helpers
 

@@ -59,7 +59,7 @@ class PacketQueue:
     """A FIFO byte queue with ECN marking and selective dropping."""
 
     __slots__ = ("config", "stats", "_fifo", "byte_count", "red_bytes",
-                 "_mark_rng", "_backlog_watcher")
+                 "_mark_rng", "_backlog_watcher", "_marking")
 
     def __init__(self, config: QueueConfig, mark_rng=None) -> None:
         self.config = config
@@ -69,6 +69,8 @@ class PacketQueue:
         self.red_bytes = 0
         self._mark_rng = mark_rng  # only needed when red_max_bytes is set
         self._backlog_watcher = None
+        #: precomputed so the per-push path skips a call when ECN is off
+        self._marking = config.ecn_threshold_bytes is not None
 
     def set_backlog_watcher(self, watcher) -> None:
         """Register ``watcher(nonempty: bool)``, called on every transition
@@ -105,7 +107,8 @@ class PacketQueue:
 
     def push(self, pkt: Packet) -> None:
         """Enqueue an admitted packet, applying ECN marking."""
-        self._maybe_mark(pkt)
+        if self._marking and pkt.ecn_capable:
+            self._maybe_mark(pkt)
         self._fifo.append(pkt)
         if len(self._fifo) == 1 and self._backlog_watcher is not None:
             self._backlog_watcher(True)
@@ -134,6 +137,29 @@ class PacketQueue:
     def count_buffer_drop(self) -> None:
         """Record a drop decided by the shared-buffer manager."""
         self.stats.dropped_buffer += 1
+
+    def record_transit(self, pkt: Packet) -> None:
+        """Account for a packet that passes straight through this queue with
+        zero residence time (the egress port's cut-through fast path).
+
+        Produces exactly the counters and ECN marking a ``push`` followed by
+        an immediate ``pop`` would, without touching the FIFO or the
+        backlog watcher (the queue never becomes non-empty).
+        """
+        if self._marking and pkt.ecn_capable:
+            self._maybe_mark(pkt)
+        size = pkt.size
+        st = self.stats
+        st.enqueued += 1
+        st.dequeued += 1
+        st.bytes_enqueued += size
+        occupancy = self.byte_count + size
+        if occupancy > st.max_bytes:
+            st.max_bytes = occupancy
+        if pkt.color == Color.RED:
+            red = self.red_bytes + size
+            if red > st.max_red_bytes:
+                st.max_red_bytes = red
 
     def _maybe_mark(self, pkt: Packet) -> None:
         cfg = self.config

@@ -60,6 +60,10 @@ class PortScheduler:
     :class:`PacketQueue` can belong to at most one scheduler.
     """
 
+    __slots__ = ("_schedules", "_classes", "_dwrr", "_rr_pos", "_backlog",
+                 "_class_of", "_pos_of", "_sole_idx", "_sole_queue",
+                 "_sole_unpaced")
+
     def __init__(self, schedules: List[QueueSchedule]) -> None:
         if not schedules:
             raise ValueError("a port needs at least one queue")
@@ -87,8 +91,20 @@ class PortScheduler:
                 if not q.empty:
                     self._backlog[class_idx] += 1
                 q.set_backlog_watcher(self._make_watcher(class_idx))
+        #: reverse maps for :meth:`note_cut_through`
+        self._class_of = [0] * len(schedules)
+        self._pos_of = [0] * len(schedules)
+        for class_idx, members in enumerate(self._classes):
+            for pos, i in enumerate(members):
+                self._class_of[i] = class_idx
+                self._pos_of[i] = pos
         #: fast path: the ubiquitous single-queue port skips classing entirely
         self._sole_idx: Optional[int] = 0 if len(schedules) == 1 else None
+        self._sole_queue: Optional[PacketQueue] = (
+            schedules[0].queue if len(schedules) == 1 else None
+        )
+        self._sole_unpaced = (self._sole_queue is not None
+                              and schedules[0].pacer is None)
 
     def _make_watcher(self, class_idx: int):
         backlog = self._backlog
@@ -108,6 +124,16 @@ class PortScheduler:
     def total_backlog(self) -> int:
         return sum(s.queue.byte_count for s in self._schedules)
 
+    def has_backlog(self) -> bool:
+        """True when any queue holds at least one packet. O(#classes), no
+        allocation — the egress port calls this once per transmission."""
+        if self._sole_queue is not None:
+            return not self._sole_queue.empty
+        for count in self._backlog:
+            if count:
+                return True
+        return False
+
     def next(self, now_ns: int) -> Tuple[Optional[Packet], Optional[int]]:
         """Pick the next packet to transmit.
 
@@ -115,6 +141,13 @@ class PortScheduler:
         the only backlogged queues are paced and become eligible at ``t``,
         and ``(None, None)`` when all queues are empty.
         """
+        if self._sole_unpaced:
+            # Single unpaced queue (every switch port in the legacy/baseline
+            # configs): a bare pop, no classing, no pacer bookkeeping.
+            q = self._sole_queue
+            if q._fifo:
+                return q.pop(), None
+            return None, None
         if self._sole_idx is not None:
             return self._serve_single(self._sole_idx, now_ns)
         wake: Optional[int] = None
@@ -134,6 +167,18 @@ class PortScheduler:
             # block lower classes: the port stays work-conserving (§4.1 —
             # data may use the wire while credits wait for tokens).
         return None, wake
+
+    def note_cut_through(self, idx: int) -> None:
+        """Reproduce the state a one-packet serve through an otherwise-empty
+        port would leave: the DWRR position advances past the served queue.
+        (Deficits need no touch-up — every queue was empty, so every deficit
+        was already forfeited to zero, and a serve that immediately drains
+        its queue resets the survivor's deficit to zero as well.)"""
+        class_idx = self._class_of[idx]
+        members = self._classes[class_idx]
+        n = len(members)
+        if n > 1:
+            self._rr_pos[class_idx] = (self._pos_of[idx] + 1) % n
 
     def _serve_single(
         self, idx: int, now_ns: int
@@ -174,6 +219,36 @@ class PortScheduler:
         wake: Optional[int] = None
         schedules = self._schedules
         dwrr = self._dwrr
+        if n == 2:
+            # Solo-backlog fast path: with one member empty, the round loop
+            # below degenerates — the empty queue forfeits its deficit every
+            # round while the survivor accumulates quanta until its head is
+            # covered. Both effects have closed forms, so compute them
+            # directly; the resulting deficits and rr position are
+            # bit-identical to running the rounds one by one.
+            i0, i1 = members
+            f0 = schedules[i0].queue._fifo
+            f1 = schedules[i1].queue._fifo
+            if bool(f0) != bool(f1):
+                solo, idle = (i0, i1) if f0 else (i1, i0)
+                sched = schedules[solo]
+                if sched.pacer is None:
+                    dwrr[idle].deficit = 0.0
+                    state = dwrr[solo]
+                    q = sched.queue
+                    size = q.head().size
+                    d = state.deficit
+                    if d < size:
+                        quantum = _BASE_QUANTUM * sched.weight
+                        d += math.ceil((size - d) / quantum) * quantum
+                    state.deficit = d - size
+                    pkt = q.pop()
+                    pos = members.index(solo)
+                    if q.empty:
+                        state.deficit = 0.0
+                        pos += 1
+                    self._rr_pos[class_idx] = pos % n
+                    return pkt, None
         while True:
             progressed = False  # any deficit grew this round
             for _ in range(n):

@@ -5,11 +5,13 @@ from __future__ import annotations
 from typing import Dict, Tuple, TYPE_CHECKING
 
 from repro.net.node import Node
+from repro.net.packet import free_packet
 from repro.net.routing import ecmp_index
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.buffering import SharedBuffer
     from repro.net.packet import Packet
+    from repro.net.port import EgressPort
     from repro.sim.engine import Simulator
 
 
@@ -19,7 +21,16 @@ class Switch(Node):
     Routing state (``next_hops``) is installed by the topology after all
     links exist. All egress ports of the switch draw from one shared buffer,
     which is what makes the dynamic-threshold scheme meaningful.
+
+    ``install_routes`` precomputes two per-destination fast tables so the
+    per-packet path never recomputes ECMP for single-path destinations and
+    never chases ``ports[peer]`` dict lookups: destinations with one next
+    hop map straight to their egress port, multi-hop destinations to a tuple
+    of ports indexed by the symmetric ECMP hash.
     """
+
+    __slots__ = ("buffer", "next_hops", "ecmp_salt", "routing_failures",
+                 "_route_single", "_route_multi")
 
     def __init__(
         self, sim: "Simulator", node_id: int, name: str, buffer: "SharedBuffer"
@@ -32,14 +43,37 @@ class Switch(Node):
         #: across tiers while keeping forward/reverse paths mirrored.
         self.ecmp_salt = 0
         self.routing_failures = 0
+        #: dst -> egress port, for destinations with exactly one next hop
+        self._route_single: Dict[int, "EgressPort"] = {}
+        #: dst -> tuple of egress ports (ECMP members, sorted by peer id)
+        self._route_multi: Dict[int, Tuple["EgressPort", ...]] = {}
+
+    def install_routes(self, next_hops: Dict[int, Tuple[int, ...]]) -> None:
+        """Set the next-hop table and rebuild the per-packet fast tables."""
+        self.next_hops = next_hops
+        single: Dict[int, "EgressPort"] = {}
+        multi: Dict[int, Tuple["EgressPort", ...]] = {}
+        ports = self.ports
+        for dst, hops in next_hops.items():
+            if len(hops) == 1:
+                single[dst] = ports[hops[0]]
+            else:
+                multi[dst] = tuple(ports[peer] for peer in hops)
+        self._route_single = single
+        self._route_multi = multi
 
     def receive(self, pkt: "Packet") -> None:
-        hops = self.next_hops.get(pkt.dst)
-        if not hops:
-            # Indicates broken topology wiring; make it loud in stats but do
-            # not crash a long sweep for one stray packet.
-            self.routing_failures += 1
-            return
-        peer = hops[ecmp_index(pkt.flow_id, pkt.src, pkt.dst, len(hops),
-                               self.ecmp_salt)]
-        self.ports[peer].enqueue(pkt)
+        dst = pkt.dst
+        port = self._route_single.get(dst)
+        if port is None:
+            choices = self._route_multi.get(dst)
+            if choices is None:
+                # Indicates broken topology wiring; make it loud in stats but
+                # do not crash a long sweep for one stray packet.
+                self.routing_failures += 1
+                free_packet(pkt)
+                return
+            port = choices[ecmp_index(pkt.flow_id, pkt.src, dst, len(choices),
+                                      self.ecmp_salt)]
+        if not port.enqueue(pkt):
+            free_packet(pkt)  # dropped at admission; the queue counted it

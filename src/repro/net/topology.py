@@ -106,7 +106,7 @@ class Topology:
         adjacency = filter_adjacency(self._adjacency, frozenset(self._down_edges))
         next_hops = compute_next_hops(adjacency, host_ids)
         for switch in self.switches:
-            switch.next_hops = next_hops.get(switch.id, {})
+            switch.install_routes(next_hops.get(switch.id, {}))
 
     # ------------------------------------------------------------- lookups
 

@@ -1,12 +1,15 @@
 """Event loop for the packet-level simulator.
 
 The engine is a classic calendar built on :mod:`heapq`. The heap holds
-``(time, seq, handle)`` tuples so ordering is decided by C-level tuple
-comparison instead of a Python ``__lt__`` call per sift step. Events are
-plain callbacks; cancellation is lazy (a cancelled handle stays in the heap
-and is skipped when popped), which is far cheaper than heap surgery for the
-cancel-heavy workloads that transport retransmission timers produce. Two
-counters keep the laziness honest:
+``(time, seq, payload)`` tuples so ordering is decided by C-level tuple
+comparison instead of a Python ``__lt__`` call per sift step; the payload is
+an :class:`EventHandle` for cancellable events (``at``/``after``) or a bare
+``(fn, args)`` tuple for fire-and-forget ones (``post``/``post_at``), which
+skips one object allocation per event on the packet hot path. Cancellation
+is lazy (a cancelled handle stays in the heap and is skipped when popped),
+which is far cheaper than heap surgery for the cancel-heavy workloads that
+transport retransmission timers produce. Two counters keep the laziness
+honest:
 
 * ``pending()`` is O(1): live events = heap entries minus a running count
   of cancelled-but-not-yet-popped entries;
@@ -128,6 +131,31 @@ class Simulator:
         """Schedule ``fn(*args)`` at the current instant (after current event)."""
         return self.at(self._now, fn, *args)
 
+    def post(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule a *fire-and-forget* event after ``delay`` nanoseconds.
+
+        Like :meth:`after` but returns no handle and cannot be cancelled:
+        the heap entry is a plain ``(fn, args)`` tuple instead of an
+        :class:`EventHandle`, which skips one object allocation per event.
+        Packet deliveries and port serve events — the bulk of all events in
+        a packet-forwarding run — are never cancelled, so they take this
+        path. Use :meth:`after` for anything a timer might cancel.
+        """
+        t = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (t, seq, (fn, args)))
+
+    def post_at(self, time: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Absolute-time variant of :meth:`post` (see :meth:`at`)."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at t={time} ns; clock is already at {self._now} ns"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, (fn, args)))
+
     def _note_cancel(self) -> None:
         """Bookkeeping for a live heap entry turning cancelled."""
         self._cancelled += 1
@@ -136,7 +164,8 @@ class Simulator:
                 and self._cancelled * 2 >= len(heap)):
             # In-place compaction (slice assignment) so a ``run`` loop holding
             # a local alias of the heap keeps seeing the same list object.
-            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heap[:] = [entry for entry in heap
+                       if type(entry[2]) is tuple or not entry[2].cancelled]
             heapq.heapify(heap)
             self._cancelled = 0
 
@@ -162,6 +191,8 @@ class Simulator:
         self.abort_reason = ""
         if until is None and max_events is None and wall_clock_s is None:
             return self._run_fast()
+        if max_events is None and wall_clock_s is None:
+            return self._run_until(until)
         return self._run_guarded(until, max_events, wall_clock_s)
 
     def _run_fast(self) -> int:
@@ -171,20 +202,63 @@ class Simulator:
         executed = 0
         try:
             while heap:
-                t, _, handle = heappop(heap)
-                fn = handle.fn
+                t, _, ev = heappop(heap)
+                if type(ev) is tuple:  # handle-free event (``post``)
+                    self._now = t
+                    fn, args = ev
+                    fn(*args)
+                    executed += 1
+                    continue
+                fn = ev.fn
                 if fn is None:  # lazily-cancelled entry
                     self._cancelled -= 1
                     continue
                 self._now = t
-                args = handle.args
-                handle.fn = None
-                handle.args = ()
+                args = ev.args
+                ev.fn = None
+                ev.args = ()
                 fn(*args)
                 executed += 1
         finally:
             self._events_run += executed
             self._running = False
+        return executed
+
+    def _run_until(self, until: int) -> int:
+        """Horizon-only run: like :meth:`_run_fast` plus a single time check
+        per event, with none of the watchdog bookkeeping."""
+        heap = self._heap
+        heappop = heapq.heappop
+        executed = 0
+        try:
+            while heap:
+                t, _, ev = heap[0]
+                if t > until:
+                    break
+                if type(ev) is tuple:  # handle-free event (``post``)
+                    heappop(heap)
+                    self._now = t
+                    fn, args = ev
+                    fn(*args)
+                    executed += 1
+                    continue
+                fn = ev.fn
+                if fn is None:  # lazily-cancelled entry
+                    heappop(heap)
+                    self._cancelled -= 1
+                    continue
+                heappop(heap)
+                self._now = t
+                args = ev.args
+                ev.fn = None
+                ev.args = ()
+                fn(*args)
+                executed += 1
+        finally:
+            self._events_run += executed
+            self._running = False
+        if self._now < until:
+            self._now = until
         return executed
 
     def _run_guarded(self, until: Optional[int], max_events: Optional[int],
@@ -197,8 +271,9 @@ class Simulator:
         heappop = heapq.heappop
         try:
             while heap:
-                t, _, handle = heap[0]
-                if handle.fn is None:
+                t, _, ev = heap[0]
+                plain = type(ev) is tuple
+                if not plain and ev.fn is None:
                     heappop(heap)
                     self._cancelled -= 1
                     continue
@@ -222,9 +297,12 @@ class Simulator:
                         break
                 heappop(heap)
                 self._now = t
-                fn, args = handle.fn, handle.args
-                handle.fn = None
-                handle.args = ()
+                if plain:
+                    fn, args = ev
+                else:
+                    fn, args = ev.fn, ev.args
+                    ev.fn = None
+                    ev.args = ()
                 fn(*args)
                 executed += 1
         finally:
@@ -237,7 +315,10 @@ class Simulator:
     def peek_time(self) -> Optional[int]:
         """Time of the next pending event, or ``None`` if the heap is empty."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        while heap:
+            ev = heap[0][2]
+            if type(ev) is tuple or not ev.cancelled:
+                break
             heapq.heappop(heap)
             self._cancelled -= 1
         return heap[0][0] if heap else None

@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 from typing import Optional, TYPE_CHECKING
 
-from repro.net.packet import CREDIT_WIRE_BYTES, Dscp, Packet, PacketKind
+from repro.net.packet import CREDIT_WIRE_BYTES, Dscp, Packet, PacketKind, alloc_packet
 from repro.transports.credit_feedback import CreditFeedback, FeedbackParams
 from repro.sim.units import SECONDS
 
@@ -81,7 +81,7 @@ class CreditPacer:
         self._credit_timer = None
         if not self.running:
             return
-        credit = Packet(
+        credit = alloc_packet(
             PacketKind.CREDIT, self.flow_id, self.host.id, self.sender_id,
             CREDIT_WIRE_BYTES, dscp=Dscp.CREDIT, seq=self._credit_seq,
         )

@@ -18,6 +18,7 @@ from repro.net.packet import (
     Dscp,
     Packet,
     PacketKind,
+    alloc_packet,
     data_wire_size,
 )
 from repro.transports.base import CompletionCallback, FlowSpec, FlowStats
@@ -104,7 +105,7 @@ class DctcpSender:
 
     def _transmit(self, seq: int) -> None:
         p = self.params
-        pkt = Packet(
+        pkt = alloc_packet(
             PacketKind.DATA, self.spec.flow_id, self.spec.src.id, self.spec.dst.id,
             data_wire_size(self.spec.segment_payload(seq)),
             payload=self.spec.segment_payload(seq),
@@ -196,7 +197,7 @@ class DctcpReceiver:
             self.stats.max_reorder_bytes = reorder_bytes
 
     def _send_ack(self, data: Packet) -> None:
-        ack = Packet(
+        ack = alloc_packet(
             PacketKind.ACK, self.spec.flow_id, self.spec.dst.id, self.spec.src.id,
             ACK_WIRE_BYTES, dscp=self.params.ack_dscp,
             ack=self.scoreboard.cum, sack=self.scoreboard.sack(),

@@ -26,6 +26,7 @@ from repro.net.packet import (
     Dscp,
     Packet,
     PacketKind,
+    alloc_packet,
     data_wire_size,
 )
 from repro.transports.base import CompletionCallback, FlowSpec, FlowStats
@@ -89,7 +90,7 @@ class ExpressPassSender:
     # ------------------------------------------------------------- setup
 
     def _send_request(self) -> None:
-        req = Packet(
+        req = alloc_packet(
             PacketKind.CREDIT_REQUEST, self.spec.flow_id,
             self.spec.src.id, self.spec.dst.id, CREDIT_WIRE_BYTES,
             dscp=self.params.ctrl_dscp, meta=self.spec.size_bytes,
@@ -152,7 +153,7 @@ class ExpressPassSender:
 
     def _transmit(self, seq: int, credit_echo: int = -1) -> None:
         p = self.params
-        pkt = Packet(
+        pkt = alloc_packet(
             PacketKind.DATA, self.spec.flow_id, self.spec.src.id, self.spec.dst.id,
             data_wire_size(self.spec.segment_payload(seq)),
             payload=self.spec.segment_payload(seq),
@@ -230,7 +231,7 @@ class ExpressPassReceiver:
             self._finish()
 
     def _send_ack(self, data: Packet) -> None:
-        ack = Packet(
+        ack = alloc_packet(
             PacketKind.ACK, self.spec.flow_id, self.spec.dst.id, self.spec.src.id,
             ACK_WIRE_BYTES, dscp=self.params.ack_dscp,
             ack=self.scoreboard.cum, sack=self.scoreboard.sack(),

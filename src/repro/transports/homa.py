@@ -24,6 +24,7 @@ from repro.net.packet import (
     MSS,
     Packet,
     PacketKind,
+    alloc_packet,
     data_wire_size,
 )
 from repro.transports.base import CompletionCallback, FlowSpec, FlowStats
@@ -103,7 +104,7 @@ class HomaSender:
     def _transmit(self, seq: int, prio: int) -> None:
         if seq >= self.spec.n_segments:
             return
-        pkt = Packet(
+        pkt = alloc_packet(
             PacketKind.DATA, self.spec.flow_id, self.spec.src.id, self.spec.dst.id,
             data_wire_size(self.spec.segment_payload(seq)),
             payload=self.spec.segment_payload(seq),
@@ -177,7 +178,7 @@ class HomaReceiver:
         self._grant_timer = self.sim.after(self._grant_interval_ns(), self._send_grant)
 
     def _emit_grant(self, seq: int) -> None:
-        grant = Packet(
+        grant = alloc_packet(
             PacketKind.GRANT, self.spec.flow_id,
             self.spec.dst.id, self.spec.src.id, CREDIT_WIRE_BYTES,
             dscp=Dscp.HOMA_BASE + self.params.grant_prio, meta=seq,
@@ -211,7 +212,7 @@ class HomaReceiver:
                 t.cancel()
         self._grant_timer = self._regrant_timer = None
         # tell the sender it can forget the flow
-        ack = Packet(
+        ack = alloc_packet(
             PacketKind.ACK, self.spec.flow_id, self.spec.dst.id, self.spec.src.id,
             ACK_WIRE_BYTES, dscp=Dscp.HOMA_BASE + self.params.grant_prio,
             ack=self.spec.n_segments,

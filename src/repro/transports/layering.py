@@ -20,6 +20,7 @@ from repro.net.packet import (
     Dscp,
     Packet,
     PacketKind,
+    alloc_packet,
     data_wire_size,
 )
 from repro.transports.base import FlowSpec, FlowStats
@@ -79,7 +80,7 @@ class LayeringSender:
         return len(self._acked) == self.spec.n_segments
 
     def _send_request(self) -> None:
-        req = Packet(
+        req = alloc_packet(
             PacketKind.CREDIT_REQUEST, self.spec.flow_id,
             self.spec.src.id, self.spec.dst.id, CREDIT_WIRE_BYTES,
             dscp=self.params.ctrl_dscp, meta=self.spec.size_bytes,
@@ -140,7 +141,7 @@ class LayeringSender:
 
     def _transmit(self, seq: int, credit_echo: int = -1) -> None:
         p = self.params
-        pkt = Packet(
+        pkt = alloc_packet(
             PacketKind.DATA, self.spec.flow_id, self.spec.src.id, self.spec.dst.id,
             data_wire_size(self.spec.segment_payload(seq)),
             payload=self.spec.segment_payload(seq),

@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, TYPE_CHECKING
 
-from repro.net.packet import CREDIT_WIRE_BYTES, Dscp, Packet, PacketKind
+from repro.net.packet import CREDIT_WIRE_BYTES, Dscp, Packet, PacketKind, alloc_packet
 from repro.sim.units import SECONDS
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -111,7 +111,7 @@ class PHostAllocator:
         return None
 
     def _emit(self, entry: _FlowEntry) -> None:
-        credit = Packet(
+        credit = alloc_packet(
             PacketKind.CREDIT, entry.flow_id, self.host.id, entry.sender_id,
             CREDIT_WIRE_BYTES, dscp=Dscp.CREDIT, seq=entry.credit_seq,
         )

@@ -34,6 +34,8 @@ class SinkHostMixin:
 
 
 class Recorder:
+    retains_packets = True  # keep delivered objects out of the packet pool
+
     def __init__(self):
         self.packets = []
 

@@ -8,6 +8,7 @@ import sys
 from repro.metrics.bench import (
     compare_to_baseline,
     load_baseline,
+    main as bench_main,
     record_bench,
 )
 
@@ -73,7 +74,9 @@ class TestBenchRecords:
         assert doc is not None
         for name, rate_key in [("event_dispatch", "events_per_sec"),
                                ("packet_forwarding", "packets_per_sec"),
-                               ("dwrr_egress", "packets_per_sec")]:
+                               ("dwrr_egress", "packets_per_sec"),
+                               ("packet_pool", "packets_per_sec"),
+                               ("sweep_throughput", "configs_per_sec")]:
             assert doc["results"][name][rate_key] > 0
 
 
@@ -85,7 +88,8 @@ class TestProfileHarness:
         assert rc == 0
         doc = json.loads(open(out).read())
         assert set(doc["results"]) == {"event_dispatch", "packet_forwarding",
-                                       "dwrr_egress"}
+                                       "dwrr_egress", "packet_pool",
+                                       "sweep_throughput"}
         for metrics in doc["results"].values():
             rate = next(v for k, v in metrics.items()
                         if k.endswith("_per_sec"))
@@ -105,4 +109,34 @@ class TestProfileHarness:
         must write the same record names or the trajectory forks."""
         tool = _load_profile_tool()
         assert set(tool.RECORD_NAMES.values()) == {
-            "event_dispatch", "packet_forwarding", "dwrr_egress"}
+            "event_dispatch", "packet_forwarding", "dwrr_egress",
+            "packet_pool", "sweep_throughput"}
+
+
+class TestBenchCli:
+    def _write(self, path, rates):
+        import json as _json
+        path.write_text(_json.dumps(
+            {"schema": 1, "results": {
+                name: {"packets_per_sec": rate} for name, rate in rates.items()
+            }}))
+        return str(path)
+
+    def test_compare_ok(self, tmp_path, capsys):
+        cur = self._write(tmp_path / "cur.json", {"packet_forwarding": 100_000})
+        base = self._write(tmp_path / "base.json", {"packet_forwarding": 90_000})
+        rc = bench_main(["compare", cur, base, "--tolerance", "0.75"])
+        assert rc == 0
+        assert "perf ok" in capsys.readouterr().out
+
+    def test_compare_regression_fails(self, tmp_path, capsys):
+        cur = self._write(tmp_path / "cur.json", {"packet_forwarding": 50_000})
+        base = self._write(tmp_path / "base.json", {"packet_forwarding": 90_000})
+        rc = bench_main(["compare", cur, base, "--tolerance", "0.75"])
+        assert rc == 1
+        assert "packet_forwarding" in capsys.readouterr().out
+
+    def test_compare_unreadable_input(self, tmp_path):
+        base = self._write(tmp_path / "base.json", {})
+        rc = bench_main(["compare", str(tmp_path / "missing.json"), base])
+        assert rc == 2

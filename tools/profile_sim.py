@@ -119,10 +119,73 @@ def scenario_dwrr(n_packets: int) -> dict:
             "packets_per_sec": total / elapsed}
 
 
+
+def scenario_pool(n_packets: int) -> dict:
+    """Packet pool: acquire/release churn across two interleaved flows."""
+    from repro.net.packet import PacketPool
+
+    pool = PacketPool(max_size=4096)
+    t0 = time.perf_counter()
+    live = []
+    for i in range(n_packets):
+        pkt = pool.acquire(PacketKind.DATA, 1 + (i & 1), 0, 1, 1584,
+                           seq=i, dscp=Dscp.LEGACY)
+        live.append(pkt)
+        if len(live) >= 32:
+            # release the oldest half, like packets draining a queue
+            for p in live[:16]:
+                pool.release(p)
+            del live[:16]
+    for p in live:
+        pool.release(p)
+    elapsed = time.perf_counter() - t0
+    assert pool.acquired == n_packets and pool.released == n_packets
+    return {"n_packets": n_packets, "elapsed_s": elapsed,
+            "packets_per_sec": n_packets / elapsed,
+            "reuse_ratio": pool.reused / max(1, pool.acquired)}
+
+
+def scenario_sweep(n_configs: int) -> dict:
+    """Sweep: stream ``n_configs`` tiny Clos experiments through run_many."""
+    from repro.experiments.config import ExperimentConfig, SchemeName
+    from repro.experiments.parallel import run_many, FailedResult
+
+    configs = [
+        ExperimentConfig(scheme=SchemeName.DCTCP, sim_time_ns=1_000_000,
+                         load=0.3, seed=seed)
+        for seed in range(1, n_configs + 1)
+    ]
+    t0 = time.perf_counter()
+    results = run_many(configs)
+    elapsed = time.perf_counter() - t0
+    failed = sum(1 for r in results if isinstance(r, FailedResult))
+    assert failed == 0, f"{failed} configs failed"
+    return {"n_configs": n_configs, "elapsed_s": elapsed,
+            "configs_per_sec": n_configs / elapsed}
+
+
+def scenario_experiment(_size: int) -> dict:
+    """One full ``run_experiment`` on the default config (profiling target)."""
+    from repro.experiments.config import ExperimentConfig, SchemeName
+    from repro.experiments.runner import run_experiment
+
+    cfg = ExperimentConfig(scheme=SchemeName.FLEXPASS, sim_time_ns=5_000_000,
+                           load=0.5)
+    t0 = time.perf_counter()
+    result = run_experiment(cfg)
+    elapsed = time.perf_counter() - t0
+    return {"n_events": result.events_run, "n_flows": len(result.records),
+            "elapsed_s": elapsed,
+            "events_per_sec": result.events_run / elapsed}
+
+
 SCENARIOS = {
     "dispatch": (scenario_dispatch, "events"),
     "forwarding": (scenario_forwarding, "packets"),
     "dwrr": (scenario_dwrr, "packets"),
+    "pool": (scenario_pool, "packets"),
+    "sweep": (scenario_sweep, "configs"),
+    "experiment": (scenario_experiment, "events"),
 }
 
 #: benchmark-record names, kept in sync with benchmarks/test_bench_simulator_perf.py
@@ -130,13 +193,19 @@ RECORD_NAMES = {
     "dispatch": "event_dispatch",
     "forwarding": "packet_forwarding",
     "dwrr": "dwrr_egress",
+    "pool": "packet_pool",
+    "sweep": "sweep_throughput",
+    # "experiment" is a profiling target, not a tracked benchmark
 }
 
-QUICK_SIZES = {"dispatch": 20_000, "forwarding": 2_000, "dwrr": 6_000}
-FULL_SIZES = {"dispatch": 200_000, "forwarding": 20_000, "dwrr": 60_000}
+QUICK_SIZES = {"dispatch": 20_000, "forwarding": 2_000, "dwrr": 6_000,
+               "pool": 20_000, "sweep": 4, "experiment": 1}
+FULL_SIZES = {"dispatch": 200_000, "forwarding": 20_000, "dwrr": 60_000,
+              "pool": 200_000, "sweep": 16, "experiment": 1}
 
 
-def run_scenario(name: str, size: int, profile: bool, top: int) -> dict:
+def run_scenario(name: str, size: int, profile: bool, top: int,
+                 sort: str = "cumulative") -> dict:
     fn, _unit = SCENARIOS[name]
     if profile:
         prof = cProfile.Profile()
@@ -144,7 +213,7 @@ def run_scenario(name: str, size: int, profile: bool, top: int) -> dict:
         result = fn(size)
         prof.disable()
         stats = pstats.Stats(prof, stream=sys.stdout)
-        stats.strip_dirs().sort_stats("cumulative")
+        stats.strip_dirs().sort_stats(sort)
         print(f"\n--- cProfile: {name} ---")
         stats.print_stats(top)
     else:
@@ -165,11 +234,20 @@ def main(argv=None) -> int:
                     help="run under cProfile and print the hottest functions")
     ap.add_argument("--top", type=int, default=15,
                     help="rows of profile output to print")
+    ap.add_argument("--sort", default="cumulative",
+                    choices=("calls", "cumulative", "filename", "line",
+                             "name", "nfl", "pcalls", "stdname", "time"),
+                    help="pstats sort key for --profile output")
     ap.add_argument("--json", metavar="PATH", default=None,
                     help="merge results into a BENCH_engine.json file")
     args = ap.parse_args(argv)
 
-    names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    if args.scenario == "all":
+        # "experiment" is a profiling target (a full run_experiment, ~15 s);
+        # it only runs when asked for by name.
+        names = [n for n in SCENARIOS if n != "experiment"]
+    else:
+        names = [args.scenario]
     sizes = QUICK_SIZES if args.quick else FULL_SIZES
     for name in names:
         size = sizes[name]
@@ -177,12 +255,15 @@ def main(argv=None) -> int:
             size = args.events
         elif name != "dispatch" and args.packets is not None:
             size = args.packets
-        result = run_scenario(name, size, args.profile, args.top)
+        result = run_scenario(name, size, args.profile, args.top,
+                              args.sort)
         rate_key = next(k for k in result if k.endswith("_per_sec"))
         print(f"{name:12s} {result[rate_key]:>14,.0f} {rate_key} "
               f"({result['elapsed_s']:.3f} s)")
         if args.json:
-            record_bench(RECORD_NAMES[name], result, path=args.json)
+            record_name = RECORD_NAMES.get(name)
+            if record_name is not None:
+                record_bench(record_name, result, path=args.json)
     if args.json:
         print(f"recorded -> {args.json}")
     return 0

@@ -7,7 +7,8 @@ runs them — parallelized across CPUs — and writes one ``fct_<id>.csv`` per
 experiment into the results directory, plus an ``index.csv`` mapping
 experiment ids to parameters.
 
-    python tools/run_simulations.py --out results/ [--ms 10] [--paper-scale]
+    python tools/run_simulations.py --out results/ [--ms 10] [--paper-scale] \
+        [--cache .sim-cache]
 
 ``tools/generate_figure.py`` consumes the output.
 """
@@ -81,6 +82,9 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--size-scale", type=float, default=8.0)
     parser.add_argument("--processes", type=int, default=None)
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="experiment-cache directory: re-runs only "
+                             "simulate configs not already stored there")
     parser.add_argument("--paper-scale", action="store_true")
     parser.add_argument("--only", nargs="*", default=None,
                         help="run only experiment ids with these prefixes")
@@ -101,7 +105,7 @@ def main() -> int:
           f"({base.clos.n_hosts} hosts, {args.ms} ms each) ...")
 
     results = run_many([cfg for _, cfg in grid], processes=args.processes,
-                       retry_failed=True)
+                       retry_failed=True, cache=args.cache)
 
     index_rows = []
     for (eid, cfg), res in zip(grid, results):
