@@ -15,10 +15,12 @@ programmatically.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.experiments.config import SchemeName
+from repro.metrics.telemetry import TelemetryConfig, TelemetrySeries
 from repro.experiments.figures import (
     failure_recovery,
     fig01a_expresspass_vs_dctcp,
@@ -237,7 +239,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--deployment", type=float, default=1.0)
     _add_config_args(p_run)
     _add_fault_args(p_run)
+    _add_telemetry_args(p_run)
     return parser
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    g = parser.add_argument_group("telemetry")
+    g.add_argument("--telemetry", action="store_true",
+                   help="sample time-series during the run, print a "
+                        "sparkline summary, and export JSON + CSV")
+    g.add_argument("--telemetry-out", default="telemetry", metavar="DIR",
+                   help="directory for telemetry.json/telemetry.csv")
+    g.add_argument("--telemetry-interval-us", type=float, default=100.0,
+                   help="sampling cadence in microseconds")
+    g.add_argument("--telemetry-ports", default="tor_uplinks",
+                   choices=("tor_uplinks", "all", "none"),
+                   help="which switch ports get per-queue series")
+
+
+def _telemetry_config(args) -> Optional[TelemetryConfig]:
+    if not getattr(args, "telemetry", False):
+        return None
+    return TelemetryConfig(
+        interval_ns=max(1, int(args.telemetry_interval_us * 1000)),
+        ports=args.telemetry_ports,
+    )
+
+
+def _report_telemetry(series: TelemetrySeries, out_dir: str,
+                      max_port_series: int = 12) -> None:
+    """Print the sparkline summary and write JSON/CSV exports."""
+    names = series.names()
+    shown = [n for n in names if not n.startswith("port.")]
+    port_names = [n for n in names if n.startswith("port.")]
+    shown += port_names[:max_port_series]
+    print("\n== telemetry ==")
+    rows = [(n, k, mean, peak, spark) for n, k, mean, peak, spark
+            in series.summary_rows(shown)]
+    print_table(f"{len(names)} series @ {series.interval_ns / 1000:g} µs",
+                ("series", "kind", "mean", "max", "timeline"), rows)
+    hidden = len(port_names) - max_port_series
+    if hidden > 0:
+        print(f"... {hidden} more port series (see exports)")
+    os.makedirs(out_dir, exist_ok=True)
+    json_path = os.path.join(out_dir, "telemetry.json")
+    csv_path = os.path.join(out_dir, "telemetry.csv")
+    series.write_json(json_path)
+    series.write_csv(csv_path)
+    print(f"telemetry written to {json_path} and {csv_path}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -261,7 +310,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         base = _base_config(args)
         cfg = base.with_(scheme=SchemeName(args.scheme),
-                         deployment=args.deployment)
+                         deployment=args.deployment,
+                         telemetry=_telemetry_config(args))
         res = run_experiment(cfg, sample_q1=True)
         s_all, s_small = res.fct(), res.fct(small=True)
         rows = [
@@ -293,6 +343,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             ("metric", "value"),
             rows,
         )
+        if res.telemetry is not None:
+            _report_telemetry(res.telemetry, args.telemetry_out)
         return 0
     return 1  # pragma: no cover
 

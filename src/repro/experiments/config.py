@@ -14,12 +14,13 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.faults.plan import FaultPlan
+from repro.metrics.telemetry import TelemetryConfig
 from repro.net.topology import ClosSpec
 from repro.sim.units import GBPS, KB, MICROS, MILLIS
 
 
 class SchemeName(str, enum.Enum):
-    """Deployment schemes compared in §6.2."""
+    """Deployment schemes compared in §6.2 (plus the Homa baseline of §2)."""
 
     DCTCP = "dctcp"          # baseline: nothing deployed
     NAIVE = "naive"          # ExpressPass dropped in beside legacy traffic
@@ -28,6 +29,7 @@ class SchemeName(str, enum.Enum):
     FLEXPASS = "flexpass"
     FLEXPASS_RC3 = "flexpass_rc3"    # §4.3 RC3-splitting variant
     FLEXPASS_ALTQ = "flexpass_altq"  # §4.3 alternative-queueing variant
+    HOMA = "homa"            # receiver-driven baseline sharing legacy queues
 
 
 @dataclass
@@ -84,6 +86,8 @@ class ExperimentConfig:
     update_period_ns: int = 40 * MICROS
     #: fault injection plan (None = clean fabric); see :mod:`repro.faults`
     faults: Optional[FaultPlan] = None
+    #: time-series sampling (None = off); see :mod:`repro.metrics.telemetry`
+    telemetry: Optional[TelemetryConfig] = None
     #: watchdog: abort the simulation after this many events (None = off)
     max_events: Optional[int] = None
     #: watchdog: abort after this much real time in seconds (None = off)

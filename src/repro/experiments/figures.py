@@ -8,23 +8,26 @@ sweeps (Figures 10-18) live in :mod:`repro.experiments.sweep`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.counters import FaultCounters
 
-from repro.core.flexpass import FlexPassParams, FlexPassReceiver, FlexPassSender
 from repro.experiments.config import ExperimentConfig, QueueSettings, SchemeName
 from repro.experiments.scenarios import (
+    dctcp_launcher,
+    expresspass_launcher,
+    flexpass_launcher,
     flexpass_queue_factory,
-    homa_queue_factory,
+    homa_launcher,
     homa_shared_queue_factory,
     naive_queue_factory,
 )
 from repro.metrics.summary import format_table
-from repro.metrics.throughput import ThroughputMonitor, starvation_fraction
-from repro.net.packet import Dscp, Packet, PacketKind
+from repro.metrics.telemetry import TelemetrySampler
+from repro.metrics.throughput import starvation_fraction
 from repro.net.topology import (
     DumbbellSpec,
     StarSpec,
@@ -34,71 +37,86 @@ from repro.net.topology import (
 from repro.sim.engine import Simulator
 from repro.sim.units import GBPS, KB, MB, MILLIS
 from repro.transports.base import FlowSpec, FlowStats
-from repro.transports.credit_feedback import CREDIT_PER_DATA
-from repro.transports.dctcp import DctcpParams, DctcpReceiver, DctcpSender
-from repro.transports.expresspass import (
-    ExpressPassParams,
-    ExpressPassReceiver,
-    ExpressPassSender,
-)
-from repro.transports.homa import HomaParams, HomaReceiver, HomaSender
 
 RATE = 10 * GBPS
 
+#: timeline resolution for the throughput figures (the paper plots 1 ms bins)
+_BIN_NS = 1 * MILLIS
 
-# ------------------------------------------------------------ tiny launchers
+
+# ----------------------------------------------------------------- launchers
+#
+# Every figure goes through the same audited launch path as the sweeps:
+# :func:`repro.experiments.scenarios.make_scheme_setup`'s launcher builders,
+# parameterized by a figure-scale ExperimentConfig. The old ``_launch_*``
+# helpers survive only as deprecated shims.
+
+
+def _figure_cfg(scheme: SchemeName = SchemeName.FLEXPASS,
+                wq: float = 0.5) -> ExperimentConfig:
+    """The config the figure topologies imply: 10 Gbps links, weight wq."""
+    return ExperimentConfig(scheme=scheme, queues=QueueSettings(wq=wq))
+
+
+def _start(sim, launcher, spec, stats, done=None) -> None:
+    """Create endpoints via a scenarios launcher and schedule the start."""
+    sender = launcher(sim, spec, stats, done)
+    sim.at(spec.start_ns, sender.start)
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use repro.experiments.scenarios.{new}",
+        DeprecationWarning, stacklevel=3,
+    )
 
 
 def _launch_dctcp(sim, spec, stats, done=None):
-    params = DctcpParams()
-    DctcpReceiver(sim, spec, stats, params, on_complete=done)
-    sender = DctcpSender(sim, spec, stats, params)
-    sim.at(spec.start_ns, sender.start)
+    _deprecated("_launch_dctcp", "dctcp_launcher()")
+    _start(sim, dctcp_launcher(), spec, stats, done)
 
 
 def _launch_xp(sim, spec, stats, done=None, wq=1.0):
-    params = ExpressPassParams(max_credit_rate_bps=RATE * wq * CREDIT_PER_DATA)
-    ExpressPassReceiver(sim, spec, stats, params, on_complete=done)
-    sender = ExpressPassSender(sim, spec, stats, params)
-    sim.at(spec.start_ns, sender.start)
+    _deprecated("_launch_xp", "expresspass_launcher(cfg, ...)")
+    _start(sim, expresspass_launcher(_figure_cfg(), credit_fraction=wq,
+                                     shared_queue=True), spec, stats, done)
 
 
 def _launch_fp(sim, spec, stats, done=None, wq=0.5):
-    params = FlexPassParams(max_credit_rate_bps=RATE * wq * CREDIT_PER_DATA)
-    FlexPassReceiver(sim, spec, stats, params, on_complete=done)
-    sender = FlexPassSender(sim, spec, stats, params)
-    sim.at(spec.start_ns, sender.start)
+    _deprecated("_launch_fp", "flexpass_launcher(cfg)")
+    _start(sim, flexpass_launcher(_figure_cfg(wq=wq)), spec, stats, done)
 
 
 def _launch_homa(sim, spec, stats, done=None):
-    params = HomaParams(grant_rate_bps=RATE, grant_prio=0,
-                        unscheduled_prio=1, scheduled_prio=1)
-    HomaReceiver(sim, spec, stats, params, on_complete=done)
-    sender = HomaSender(sim, spec, stats, params)
-    sim.at(spec.start_ns, sender.start)
+    _deprecated("_launch_homa", "homa_launcher(cfg)")
+    _start(sim, homa_launcher(_figure_cfg()), spec, stats, done)
 
 
-def _classify_by_scheme(flow_schemes: Dict[int, str]):
-    def classify(pkt: Packet) -> Optional[str]:
-        if pkt.kind != PacketKind.DATA:
-            return None
-        return flow_schemes.get(pkt.flow_id)
-
-    return classify
+# ------------------------------------------------------------------ sampling
 
 
-def _classify_by_subflow(flow_schemes: Dict[int, str]):
-    def classify(pkt: Packet) -> Optional[str]:
-        if pkt.kind != PacketKind.DATA:
-            return None
-        base = flow_schemes.get(pkt.flow_id)
-        if base is None:
-            return None
-        if base == "flexpass":
-            return "proactive" if pkt.subflow == 0 else "reactive"
-        return base
+def _goodput_sampler(sim, cums: Callable[[], Dict[str, float]],
+                     horizon_ns: int) -> TelemetrySampler:
+    """Telemetry sampler recording per-category goodput, in Gbps per bin.
 
-    return classify
+    ``cums`` returns cumulative delivered bytes per category (all
+    categories, every call, so every series covers every bin); the counter
+    scale 8/bin turns per-bin byte deltas into Gbps.
+    """
+    sampler = TelemetrySampler(sim, interval_ns=_BIN_NS,
+                               max_samples=horizon_ns // _BIN_NS + 8,
+                               until_ns=horizon_ns)
+    sampler.add_counter_map(cums, scale=8.0 / _BIN_NS)
+    sampler.start()
+    return sampler
+
+
+def _series(sampler: TelemetrySampler, categories: Sequence[str],
+            horizon_ns: int) -> Dict[str, List[float]]:
+    tel = sampler.freeze()
+    return {c: (tel.aligned_values(c, horizon_ns) if c in tel
+                else [0.0] * max(1, horizon_ns // _BIN_NS))
+            for c in categories}
 
 
 # ------------------------------------------------------------------ Figure 1
@@ -139,19 +157,25 @@ def fig01a_expresspass_vs_dctcp(duration_ms: int = 40,
     """Figure 1(a): one ExpressPass flow starves one DCTCP flow on a 10G
     dumbbell when both share the data queue (naïve coexistence)."""
     sim = Simulator()
+    cfg = _figure_cfg(SchemeName.NAIVE)
     db = build_dumbbell(sim, naive_queue_factory(QueueSettings()),
                         DumbbellSpec(n_pairs=2))
-    schemes = {1: "expresspass", 2: "dctcp"}
-    mon = ThroughputMonitor(db.bottleneck, _classify_by_scheme(schemes))
-    _launch_xp(sim, FlowSpec(1, db.senders[0], db.receivers[0], flow_mb * MB, 0,
-                             scheme="expresspass"), FlowStats())
-    _launch_dctcp(sim, FlowSpec(2, db.senders[1], db.receivers[1], flow_mb * MB, 0,
-                                scheme="dctcp"), FlowStats())
+    xp_stats, dc_stats = FlowStats(), FlowStats()
+    _start(sim, expresspass_launcher(cfg, credit_fraction=1.0, shared_queue=True),
+           FlowSpec(1, db.senders[0], db.receivers[0], flow_mb * MB, 0,
+                    scheme="expresspass"), xp_stats)
+    _start(sim, dctcp_launcher(),
+           FlowSpec(2, db.senders[1], db.receivers[1], flow_mb * MB, 0,
+                    scheme="dctcp"), dc_stats)
     horizon = duration_ms * MILLIS
+    sampler = _goodput_sampler(sim, lambda: {
+        "expresspass": xp_stats.delivered_bytes,
+        "dctcp": dc_stats.delivered_bytes,
+    }, horizon)
     sim.run(until=horizon)
     return ThroughputFigure(
         "Figure 1(a): ExpressPass vs DCTCP, shared queue",
-        1.0, {k: mon.series_gbps(k, horizon) for k in schemes.values()}, 10.0,
+        1.0, _series(sampler, ("expresspass", "dctcp"), horizon), 10.0,
     )
 
 
@@ -161,28 +185,34 @@ def fig01b_homa_vs_dctcp(duration_ms: int = 40, n_each: int = 16,
     isolates them — Homa grants at the full link capacity with no awareness
     of the reactive traffic, DCTCP backs off on the resulting marks."""
     sim = Simulator()
+    cfg = _figure_cfg(SchemeName.HOMA)
     db = build_dumbbell(sim, homa_shared_queue_factory(),
                         DumbbellSpec(n_pairs=2))
-    schemes: Dict[int, str] = {}
-    mon = ThroughputMonitor(db.bottleneck, _classify_by_scheme(schemes))
+    homa_stats: List[FlowStats] = []
+    dctcp_stats: List[FlowStats] = []
+    launch_homa = homa_launcher(cfg)
+    launch_dctcp = dctcp_launcher()
     fid = 0
     for i in range(n_each):
         fid += 1
-        schemes[fid] = "homa"
-        _launch_homa(sim, FlowSpec(fid, db.senders[0], db.receivers[0],
-                                   flow_mb * MB, 0, scheme="homa"), FlowStats())
+        st = FlowStats()
+        homa_stats.append(st)
+        _start(sim, launch_homa, FlowSpec(fid, db.senders[0], db.receivers[0],
+                                          flow_mb * MB, 0, scheme="homa"), st)
         fid += 1
-        schemes[fid] = "dctcp"
-        _launch_dctcp(sim, FlowSpec(fid, db.senders[1], db.receivers[1],
-                                    flow_mb * MB, 0, scheme="dctcp"), FlowStats())
+        st = FlowStats()
+        dctcp_stats.append(st)
+        _start(sim, launch_dctcp, FlowSpec(fid, db.senders[1], db.receivers[1],
+                                           flow_mb * MB, 0, scheme="dctcp"), st)
     horizon = duration_ms * MILLIS
+    sampler = _goodput_sampler(sim, lambda: {
+        "homa": sum(s.delivered_bytes for s in homa_stats),
+        "dctcp": sum(s.delivered_bytes for s in dctcp_stats),
+    }, horizon)
     sim.run(until=horizon)
     return ThroughputFigure(
         "Figure 1(b): Homa vs DCTCP, no isolation",
-        1.0,
-        {"homa": mon.series_gbps("homa", horizon),
-         "dctcp": mon.series_gbps("dctcp", horizon)},
-        10.0,
+        1.0, _series(sampler, ("homa", "dctcp"), horizon), 10.0,
     )
 
 
@@ -197,37 +227,53 @@ def fig07_subflow_throughput(scenario: str,
     "dctcp_vs_flexpass" (c).
     """
     sim = Simulator()
+    cfg = _figure_cfg(SchemeName.FLEXPASS, wq=0.5)
     star = build_star(sim, flexpass_queue_factory(QueueSettings(wq=0.5)),
                       StarSpec(n_hosts=3))
     receiver = star.hosts[2]
-    bottleneck = star.downlink(receiver)
-    schemes: Dict[int, str] = {}
-    mon = ThroughputMonitor(bottleneck, _classify_by_subflow(schemes))
+    launch_fp = flexpass_launcher(cfg)
+    fp_stats: List[FlowStats] = []
+    dc_stats: List[FlowStats] = []
     size = 50 * MB
     if scenario == "one_flexpass":
-        schemes[1] = "flexpass"
-        _launch_fp(sim, FlowSpec(1, star.hosts[0], receiver, size, 0,
-                                 scheme="flexpass", group="new"), FlowStats())
+        fp_stats.append(FlowStats())
+        _start(sim, launch_fp, FlowSpec(1, star.hosts[0], receiver, size, 0,
+                                        scheme="flexpass", group="new"),
+               fp_stats[0])
     elif scenario == "two_flexpass":
         for i in (0, 1):
-            schemes[i + 1] = "flexpass"
-            _launch_fp(sim, FlowSpec(i + 1, star.hosts[i], receiver, size, 0,
-                                     scheme="flexpass", group="new"), FlowStats())
+            fp_stats.append(FlowStats())
+            _start(sim, launch_fp,
+                   FlowSpec(i + 1, star.hosts[i], receiver, size, 0,
+                            scheme="flexpass", group="new"), fp_stats[i])
     elif scenario == "dctcp_vs_flexpass":
-        schemes[1] = "flexpass"
-        _launch_fp(sim, FlowSpec(1, star.hosts[0], receiver, size, 0,
-                                 scheme="flexpass", group="new"), FlowStats())
-        schemes[2] = "dctcp"
-        _launch_dctcp(sim, FlowSpec(2, star.hosts[1], receiver, size, 0,
-                                    scheme="dctcp"), FlowStats())
+        fp_stats.append(FlowStats())
+        _start(sim, launch_fp, FlowSpec(1, star.hosts[0], receiver, size, 0,
+                                        scheme="flexpass", group="new"),
+               fp_stats[0])
+        dc_stats.append(FlowStats())
+        _start(sim, dctcp_launcher(),
+               FlowSpec(2, star.hosts[1], receiver, size, 0, scheme="dctcp"),
+               dc_stats[0])
     else:
         raise ValueError(f"unknown scenario {scenario!r}")
+
+    def cums() -> Dict[str, float]:
+        out = {
+            "proactive": sum(s.proactive_bytes for s in fp_stats),
+            "reactive": sum(s.reactive_bytes for s in fp_stats),
+        }
+        if dc_stats:
+            out["dctcp"] = sum(s.delivered_bytes for s in dc_stats)
+        return out
+
     horizon = duration_ms * MILLIS
+    sampler = _goodput_sampler(sim, cums, horizon)
     sim.run(until=horizon)
-    categories = sorted({c for c in mon.categories()})
+    categories = ["proactive", "reactive"] + (["dctcp"] if dc_stats else [])
     return ThroughputFigure(
         f"Figure 7 ({scenario})", 1.0,
-        {c: mon.series_gbps(c, horizon) for c in categories}, 10.0,
+        _series(sampler, categories, horizon), 10.0,
     )
 
 
@@ -261,12 +307,15 @@ def fig08_incast(n_flows_list: Sequence[int] = (8, 24, 48, 80),
                  response_kb: int = 64) -> IncastFigure:
     """Figure 8: 8-to-1 incast; DCTCP hits RTOs at high degree, ExpressPass
     and FlexPass never do."""
+    cfg = _figure_cfg(wq=0.5)
     schemes = {
-        "dctcp": (_launch_dctcp, flexpass_queue_factory(QueueSettings(wq=0.5))),
-        "expresspass": (lambda sim, spec, stats, done=None:
-                        _launch_xp(sim, spec, stats, done, wq=0.5),
+        "dctcp": (dctcp_launcher(),
+                  flexpass_queue_factory(QueueSettings(wq=0.5))),
+        "expresspass": (expresspass_launcher(cfg, credit_fraction=0.5,
+                                             shared_queue=True),
                         flexpass_queue_factory(QueueSettings(wq=0.5))),
-        "flexpass": (_launch_fp, flexpass_queue_factory(QueueSettings(wq=0.5))),
+        "flexpass": (flexpass_launcher(cfg),
+                     flexpass_queue_factory(QueueSettings(wq=0.5))),
     }
     fig = IncastFigure(list(n_flows_list),
                        {s: [] for s in schemes}, {s: [] for s in schemes})
@@ -286,7 +335,7 @@ def fig08_incast(n_flows_list: Sequence[int] = (8, 24, 48, 80),
                                 scheme=name, group="new")
                 st = FlowStats()
                 stats_list.append(st)
-                launch(sim, spec, st)
+                _start(sim, launch, spec, st)
             sim.run(until=400 * MILLIS)
             fcts = [s.fct_ns() / 1e6 for s in stats_list if s.completed]
             fig.tail_fct_ms[name].append(max(fcts) if fcts else float("inf"))
@@ -305,25 +354,30 @@ def fig09_coexistence(scheme: str, duration_ms: int = 40,
     sim = Simulator()
     if scheme == "expresspass":
         factory = naive_queue_factory(QueueSettings())
-        launch = _launch_xp
+        launch = expresspass_launcher(_figure_cfg(SchemeName.NAIVE),
+                                      credit_fraction=1.0, shared_queue=True)
     elif scheme == "flexpass":
         factory = flexpass_queue_factory(QueueSettings(wq=0.5))
-        launch = _launch_fp
+        launch = flexpass_launcher(_figure_cfg(wq=0.5))
     else:
         raise ValueError(f"unknown scheme {scheme!r}")
-    sim = Simulator()
     db = build_dumbbell(sim, factory, DumbbellSpec(n_pairs=2))
-    schemes = {1: scheme, 2: "dctcp"}
-    mon = ThroughputMonitor(db.bottleneck, _classify_by_scheme(schemes))
-    launch(sim, FlowSpec(1, db.senders[0], db.receivers[0], flow_mb * MB, 0,
-                         scheme=scheme, group="new"), FlowStats())
-    _launch_dctcp(sim, FlowSpec(2, db.senders[1], db.receivers[1], flow_mb * MB,
-                                0, scheme="dctcp"), FlowStats())
+    new_stats, dc_stats = FlowStats(), FlowStats()
+    _start(sim, launch, FlowSpec(1, db.senders[0], db.receivers[0],
+                                 flow_mb * MB, 0, scheme=scheme, group="new"),
+           new_stats)
+    _start(sim, dctcp_launcher(),
+           FlowSpec(2, db.senders[1], db.receivers[1], flow_mb * MB, 0,
+                    scheme="dctcp"), dc_stats)
     horizon = duration_ms * MILLIS
+    sampler = _goodput_sampler(sim, lambda: {
+        scheme: new_stats.delivered_bytes,
+        "dctcp": dc_stats.delivered_bytes,
+    }, horizon)
     sim.run(until=horizon)
     return ThroughputFigure(
         f"Figure 9: {scheme} vs DCTCP", 1.0,
-        {k: mon.series_gbps(k, horizon) for k in schemes.values()}, 10.0,
+        _series(sampler, (scheme, "dctcp"), horizon), 10.0,
     )
 
 
@@ -387,12 +441,12 @@ def failure_recovery(down_ms: float = 2.0, up_ms: float = 6.0,
         completions.append(spec.flow_id)
 
     fp_stats, dc_stats = FlowStats(), FlowStats()
-    _launch_fp(sim, FlowSpec(1, db.senders[0], db.receivers[0], flow_mb * MB,
-                             0, scheme="flexpass", group="new"),
-               fp_stats, done)
-    _launch_dctcp(sim, FlowSpec(2, db.senders[1], db.receivers[1],
-                                flow_mb * MB, 0, scheme="dctcp"),
-                  dc_stats, done)
+    _start(sim, flexpass_launcher(_figure_cfg(wq=0.5)),
+           FlowSpec(1, db.senders[0], db.receivers[0], flow_mb * MB, 0,
+                    scheme="flexpass", group="new"), fp_stats, done)
+    _start(sim, dctcp_launcher(),
+           FlowSpec(2, db.senders[1], db.receivers[1], flow_mb * MB, 0,
+                    scheme="dctcp"), dc_stats, done)
 
     counters = schedule_failure_events(sim, db.topo, [
         LinkDownEvent(int(down_ms * MILLIS), "swL", "swR"),

@@ -92,6 +92,9 @@ def _indexed_worker(item: Tuple[int, ExperimentConfig]):
     result = _worker(cfg)
     if isinstance(result, ExperimentResult):
         packed = PackedFlowRecords.pack(result.records)
+        # ``replace`` keeps every other field — including ``telemetry``,
+        # whose TelemetrySeries is already packed typed-array columns and
+        # needs no special handling across the process boundary.
         return index, replace(result, records=[]), packed
     return index, result, None
 

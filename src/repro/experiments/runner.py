@@ -16,7 +16,11 @@ from repro.experiments.config import ExperimentConfig, SchemeName
 from repro.experiments.scenarios import SchemeSetup, make_scheme_setup
 from repro.faults.counters import FaultCounters
 from repro.metrics.fct import FctSummary, FlowRecord, summarize
-from repro.metrics.queueing import QueueSampler
+from repro.metrics.telemetry import (
+    TelemetryConfig,
+    TelemetrySampler,
+    TelemetrySeries,
+)
 from repro.net.topology import Clos, build_clos
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
@@ -57,6 +61,8 @@ class ExperimentResult:
     #: True when a watchdog stopped the run early; records are then partial
     aborted: bool = False
     abort_reason: str = ""
+    #: time-series sampled during the run (None unless cfg.telemetry is set)
+    telemetry: Optional[TelemetrySeries] = None
 
     # ------------------------------------------------------------ queries
 
@@ -136,12 +142,7 @@ def run_experiment(cfg: ExperimentConfig,
     for spec in specs:
         sim.at(spec.start_ns, launch, spec)
 
-    samplers: List[QueueSampler] = []
-    if sample_q1:
-        for port in clos.tor_uplinks():
-            samplers.append(QueueSampler(sim, port.queue(1),
-                                         period_ns=100_000,
-                                         until_ns=cfg.sim_time_ns))
+    sampler = _attach_telemetry(sim, cfg, clos, live, sample_q1)
 
     sim.run(until=cfg.sim_time_ns, max_events=cfg.max_events,
             wall_clock_s=cfg.max_wall_seconds)
@@ -159,18 +160,85 @@ def run_experiment(cfg: ExperimentConfig,
         aborted=sim.aborted,
         abort_reason=sim.abort_reason,
     )
-    if samplers:
-        import numpy as np
-
-        all_bytes = [b for s in samplers for b in s.samples_bytes]
-        all_red = [b for s in samplers for b in s.samples_red]
-        if all_bytes:
-            result.q1_avg_kb = float(np.mean(all_bytes)) / 1000
-            result.q1_p90_kb = float(np.percentile(all_bytes, 90)) / 1000
-        if all_red:
-            result.q1_avg_red_kb = float(np.mean(all_red)) / 1000
-            result.q1_p90_red_kb = float(np.percentile(all_red, 90)) / 1000
+    if sampler is not None:
+        series = sampler.freeze()
+        if cfg.telemetry is not None:
+            # Only an explicit request ships the series back to the caller;
+            # the implicit sample_q1 sampler exists for the scalars below.
+            result.telemetry = series
+        if sample_q1:
+            _fill_q1_stats(result, series, clos)
     return result
+
+
+def _attach_telemetry(sim: Simulator, cfg: ExperimentConfig, clos: Clos,
+                      live, sample_q1: bool) -> Optional[TelemetrySampler]:
+    """Build and start the run's telemetry sampler (or None when off).
+
+    ``sample_q1`` alone synthesizes a minimal port-only config so the
+    legacy q1 occupancy scalars keep working without telemetry enabled.
+    """
+    tcfg = cfg.telemetry
+    if tcfg is not None and not tcfg.enabled:
+        tcfg = None
+    if tcfg is None:
+        if not sample_q1:
+            return None
+        # Bound generously: never overwrite within the horizon, so the q1
+        # percentiles see every sample exactly like the old QueueSampler.
+        tcfg = TelemetryConfig(
+            max_samples=cfg.sim_time_ns // 100_000 + 8,
+            flows="none", links=False, pool=False, credit=False,
+        )
+    ports_mode = tcfg.ports
+    if sample_q1 and ports_mode == "none":
+        ports_mode = "tor_uplinks"
+    sampler = TelemetrySampler(sim, interval_ns=tcfg.interval_ns,
+                               max_samples=tcfg.max_samples,
+                               until_ns=cfg.sim_time_ns)
+    if ports_mode == "all":
+        watched = [p for sw in clos.topo.switches for p in sw.ports.values()]
+    elif ports_mode == "tor_uplinks":
+        watched = list(clos.tor_uplinks())
+    else:
+        watched = []
+    for port in watched:
+        sampler.watch_port(port)
+        if tcfg.links:
+            sampler.watch_link(port)
+    if tcfg.pool:
+        sampler.watch_pool()
+    if tcfg.flows != "none" or tcfg.credit:
+        sampler.watch_flows(live.values, mode=tcfg.flows,
+                            max_series=tcfg.max_flow_series,
+                            credit=tcfg.credit)
+    sampler.start()
+    return sampler
+
+
+def _fill_q1_stats(result: ExperimentResult, series: TelemetrySeries,
+                   clos: Clos) -> None:
+    """Legacy q1 occupancy scalars, computed from the sampled series."""
+    import numpy as np
+
+    all_bytes: List[float] = []
+    all_red: List[float] = []
+    for port in clos.tor_uplinks():
+        depth = f"port.{port.name}.q1.depth_bytes"
+        red = f"port.{port.name}.q1.red_bytes"
+        if depth in series:
+            vals = series.values(depth)
+            all_bytes.extend(vals)
+            # A queue without selective dropping has no red series; the old
+            # sampler recorded constant zeros for it — reproduce that.
+            all_red.extend(series.values(red) if red in series
+                           else [0.0] * len(vals))
+    if all_bytes:
+        result.q1_avg_kb = float(np.mean(all_bytes)) / 1000
+        result.q1_p90_kb = float(np.percentile(all_bytes, 90)) / 1000
+    if all_red:
+        result.q1_avg_red_kb = float(np.mean(all_red)) / 1000
+        result.q1_p90_red_kb = float(np.percentile(all_red, 90)) / 1000
 
 
 def _collect_counters(clos: Clos) -> SwitchCounters:

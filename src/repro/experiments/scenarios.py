@@ -249,7 +249,9 @@ class SchemeSetup:
         return stats
 
 
-def _dctcp_launcher():
+def dctcp_launcher():
+    """Legacy-flow launcher: plain DCTCP endpoints."""
+
     def launch(sim, spec, stats, on_complete):
         params = DctcpParams()
         DctcpReceiver(sim, spec, stats, params, on_complete=on_complete)
@@ -258,8 +260,11 @@ def _dctcp_launcher():
     return launch
 
 
-def _expresspass_launcher(cfg: ExperimentConfig, credit_fraction: float,
-                          shared_queue: bool):
+def expresspass_launcher(cfg: ExperimentConfig, credit_fraction: float,
+                         shared_queue: bool):
+    """ExpressPass endpoints credit-limited to ``credit_fraction`` of the
+    line rate; ``shared_queue`` remaps data/control DSCPs for configs where
+    new-transport traffic shares the legacy data queue."""
     rate = cfg.clos.rate_bps
 
     def launch(sim, spec, stats, on_complete):
@@ -281,7 +286,8 @@ def _expresspass_launcher(cfg: ExperimentConfig, credit_fraction: float,
     return launch
 
 
-def _layering_launcher(cfg: ExperimentConfig):
+def layering_launcher(cfg: ExperimentConfig):
+    """ExpressPass+ window-overlay endpoints (the Layering scheme [45])."""
     rate = cfg.clos.rate_bps
 
     def launch(sim, spec, stats, on_complete):
@@ -302,7 +308,10 @@ def flexpass_params_for(cfg: ExperimentConfig) -> FlexPassParams:
     )
 
 
-def _flexpass_launcher(cfg: ExperimentConfig, variant: str = ""):
+def flexpass_launcher(cfg: ExperimentConfig, variant: str = ""):
+    """FlexPass endpoints; ``variant`` selects the §4.3 alternatives
+    ("rc3" RC3-splitting, "altq" alternative queueing, "" = base)."""
+
     def launch(sim, spec, stats, on_complete):
         params = flexpass_params_for(cfg)
         if variant == "altq":
@@ -317,17 +326,35 @@ def _flexpass_launcher(cfg: ExperimentConfig, variant: str = ""):
     return launch
 
 
+def homa_launcher(cfg: ExperimentConfig):
+    """Receiver-driven Homa endpoints granting at the full line rate
+    (the Figure 1(b) baseline: no awareness of coexisting legacy traffic)."""
+    rate = cfg.clos.rate_bps
+
+    def launch(sim, spec, stats, on_complete):
+        params = HomaParams(grant_rate_bps=rate, grant_prio=0,
+                            unscheduled_prio=1, scheduled_prio=1)
+        HomaReceiver(sim, spec, stats, params, on_complete=on_complete)
+        return HomaSender(sim, spec, stats, params)
+
+    return launch
+
+
 def make_scheme_setup(cfg: ExperimentConfig) -> SchemeSetup:
-    """Build the queue factory and flow launchers for ``cfg.scheme``."""
+    """Build the queue factory and flow launchers for ``cfg.scheme``.
+
+    This is the one audited launch path: figures, sweeps, and the runner
+    all derive their endpoints from the launchers assembled here.
+    """
     qs = cfg.queues
-    legacy = _dctcp_launcher()
+    legacy = dctcp_launcher()
     scheme = cfg.scheme
     if scheme == SchemeName.DCTCP:
         return SchemeSetup(scheme, flexpass_queue_factory(qs), legacy, legacy)
     if scheme == SchemeName.NAIVE:
         return SchemeSetup(
             scheme, naive_queue_factory(qs),
-            _expresspass_launcher(cfg, credit_fraction=1.0, shared_queue=True),
+            expresspass_launcher(cfg, credit_fraction=1.0, shared_queue=True),
             legacy,
         )
     if scheme == SchemeName.OWF:
@@ -335,23 +362,27 @@ def make_scheme_setup(cfg: ExperimentConfig) -> SchemeSetup:
         fraction = max(cfg.deployment ** 2, 0.02)  # both endpoints upgraded
         return SchemeSetup(
             scheme, owf_queue_factory(qs, fraction),
-            _expresspass_launcher(cfg, credit_fraction=fraction, shared_queue=False),
+            expresspass_launcher(cfg, credit_fraction=fraction, shared_queue=False),
             legacy,
         )
     if scheme == SchemeName.LAYERING:
         return SchemeSetup(
-            scheme, naive_queue_factory(qs), _layering_launcher(cfg), legacy
+            scheme, naive_queue_factory(qs), layering_launcher(cfg), legacy
         )
     if scheme == SchemeName.FLEXPASS:
         return SchemeSetup(
-            scheme, flexpass_queue_factory(qs), _flexpass_launcher(cfg), legacy
+            scheme, flexpass_queue_factory(qs), flexpass_launcher(cfg), legacy
         )
     if scheme == SchemeName.FLEXPASS_RC3:
         return SchemeSetup(
-            scheme, flexpass_queue_factory(qs), _flexpass_launcher(cfg, "rc3"), legacy
+            scheme, flexpass_queue_factory(qs), flexpass_launcher(cfg, "rc3"), legacy
         )
     if scheme == SchemeName.FLEXPASS_ALTQ:
         return SchemeSetup(
-            scheme, flexpass_queue_factory(qs), _flexpass_launcher(cfg, "altq"), legacy
+            scheme, flexpass_queue_factory(qs), flexpass_launcher(cfg, "altq"), legacy
+        )
+    if scheme == SchemeName.HOMA:
+        return SchemeSetup(
+            scheme, homa_shared_queue_factory(), homa_launcher(cfg), legacy
         )
     raise ValueError(f"unknown scheme {scheme}")

@@ -8,6 +8,12 @@ from repro.metrics.bench import (
 )
 from repro.metrics.fct import FctSummary, FlowRecord, summarize
 from repro.metrics.queueing import QueueSampler
+from repro.metrics.telemetry import (
+    RingBuffer,
+    TelemetryConfig,
+    TelemetrySampler,
+    TelemetrySeries,
+)
 from repro.metrics.throughput import ThroughputMonitor, starvation_fraction
 from repro.metrics.tracing import PacketTracer, TraceEvent
 
@@ -19,6 +25,10 @@ __all__ = [
     "FlowRecord",
     "summarize",
     "QueueSampler",
+    "RingBuffer",
+    "TelemetryConfig",
+    "TelemetrySampler",
+    "TelemetrySeries",
     "ThroughputMonitor",
     "starvation_fraction",
     "PacketTracer",

@@ -1,8 +1,14 @@
-"""Periodic queue-occupancy sampling (the §6.2 'Bounded queue' numbers)."""
+"""Periodic queue-occupancy sampling (the §6.2 'Bounded queue' numbers).
+
+Kept as a tiny standalone helper for scripts that want two lists and a
+percentile. Anything larger — multiple ports, export, bounded storage,
+experiment integration — should use :mod:`repro.metrics.telemetry`, which
+the experiment runner itself is built on.
+"""
 
 from __future__ import annotations
 
-from typing import List, TYPE_CHECKING
+from typing import List, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -24,14 +30,15 @@ class QueueSampler:
         self.until_ns = until_ns
         self.samples_bytes: List[int] = []
         self.samples_red: List[int] = []
-        sim.after(period_ns, self._tick)
+        self._event = sim.every(period_ns, self._tick,
+                                until=until_ns or None)
 
     def _tick(self) -> None:
         self.samples_bytes.append(self.queue.byte_count)
         self.samples_red.append(self.queue.red_bytes)
-        if self.until_ns and self.sim.now >= self.until_ns:
-            return
-        self.sim.after(self.period_ns, self._tick)
+
+    def stop(self) -> None:
+        self._event.cancel()
 
     # ------------------------------------------------------------ queries
 

@@ -38,7 +38,18 @@ class TraceEvent:
 
 
 class PacketTracer:
-    """Records every transmit completion of the watched flows."""
+    """Records every transmit completion of the watched flows.
+
+    Installing a tracer forces every watched port onto its exact-tx-end
+    slow path, and a hook left behind would observe recycled pooled packets
+    whose fields belong to a *different* flow by the time it fires. Always
+    :meth:`close` the tracer when done with it — or use it as a context
+    manager, which uninstalls the hooks on exit:
+
+    >>> with PacketTracer(topo.nodes()) as tracer:
+    ...     sim.run(until=horizon)
+    >>> tracer.path_of(1, 0)   # events remain queryable after close
+    """
 
     def __init__(self, nodes: Iterable["Node"],
                  flow_ids: Optional[Iterable[int]] = None,
@@ -49,9 +60,27 @@ class PacketTracer:
         self.max_events = max_events
         self.events: List[TraceEvent] = []
         self.overflowed = False
+        self._hooks = []  # (port, hook) pairs, for uninstall
         for node in nodes:
             for port in node.ports.values():
-                port.monitors.append(self._make_hook(port.name))
+                hook = self._make_hook(port.name)
+                port.monitors.append(hook)
+                self._hooks.append((port, hook))
+
+    def close(self) -> None:
+        """Uninstall every port hook. Idempotent; recorded events stay."""
+        for port, hook in self._hooks:
+            try:
+                port.monitors.remove(hook)
+            except ValueError:  # someone else already cleared the monitors
+                pass
+        self._hooks.clear()
+
+    def __enter__(self) -> "PacketTracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _make_hook(self, port_name: str):
         def hook(now_ns: int, pkt: Packet) -> None:

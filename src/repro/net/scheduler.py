@@ -118,6 +118,12 @@ class PortScheduler:
     def queues(self) -> List[PacketQueue]:
         return [s.queue for s in self._schedules]
 
+    @property
+    def schedules(self) -> Tuple[QueueSchedule, ...]:
+        """The queue/priority/weight/pacer rows, in queue-index order
+        (read-only view for instrumentation such as telemetry)."""
+        return tuple(self._schedules)
+
     def queue(self, idx: int) -> PacketQueue:
         return self._schedules[idx].queue
 

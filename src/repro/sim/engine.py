@@ -69,6 +69,52 @@ class EventHandle:
         return f"<EventHandle t={self.time} seq={self.seq} {state}>"
 
 
+class RepeatingEvent:
+    """A periodic callback rescheduled by the engine after every firing.
+
+    Created via :meth:`Simulator.every`. The first tick fires one period
+    after creation and ticks continue every ``period`` nanoseconds until
+    :meth:`cancel` is called or the (inclusive) ``until`` horizon passes.
+    Between firings exactly one calendar entry exists, so a cancelled
+    repeater leaves at most one lazily-discarded heap entry behind.
+    """
+
+    __slots__ = ("_sim", "period", "until", "_fn", "_handle", "cancelled")
+
+    def __init__(self, sim: "Simulator", period: int,
+                 fn: Callable[[], Any], until: Optional[int]) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._sim = sim
+        self.period = period
+        self.until = until
+        self._fn = fn
+        self._handle: Optional[EventHandle] = None
+        self.cancelled = False
+        self._schedule()
+
+    def _schedule(self) -> None:
+        t = self._sim.now + self.period
+        if self.until is not None and t > self.until:
+            return
+        self._handle = self._sim.at(t, self._fire)
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._fn()
+        # The callback may have cancelled us; only then skip rescheduling.
+        if not self.cancelled:
+            self._schedule()
+
+    def cancel(self) -> None:
+        """Stop ticking. Safe to call more than once, including from
+        inside the callback itself."""
+        self.cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+
 class Simulator:
     """A discrete-event simulator with an integer-nanosecond clock."""
 
@@ -155,6 +201,17 @@ class Simulator:
         seq = self._seq
         self._seq = seq + 1
         heapq.heappush(self._heap, (time, seq, (fn, args)))
+
+    def every(self, period: int, fn: Callable[[], Any],
+              until: Optional[int] = None) -> RepeatingEvent:
+        """Schedule ``fn()`` every ``period`` nanoseconds, starting one
+        period from now. With ``until``, the last tick is the largest
+        multiple of ``period`` from now that is ≤ ``until`` (inclusive).
+        Returns a :class:`RepeatingEvent` whose ``cancel()`` stops the
+        cycle. Used by periodic samplers and housekeeping loops; per-packet
+        work should keep using :meth:`post`.
+        """
+        return RepeatingEvent(self, period, fn, until)
 
     def _note_cancel(self) -> None:
         """Bookkeeping for a live heap entry turning cancelled."""

@@ -70,6 +70,10 @@ class FlowStats:
     credits_wasted: int = 0  # credit arrived but nothing useful to send
     packets_sent: int = 0
     max_reorder_bytes: int = 0  # peak receiver reordering-buffer occupancy
+    #: currently-allocated credit rate (credit-based transports only; 0
+    #: while the flow is not being paced) — a gauge, refreshed by the
+    #: receiver's :class:`~repro.transports.crediting.CreditPacer`
+    credit_rate_bps: float = 0.0
 
     @property
     def completed(self) -> bool:

@@ -54,11 +54,13 @@ class CreditPacer:
         if self.running:
             return
         self.running = True
+        self.stats.credit_rate_bps = self.feedback.rate_bps
         self._send_credit()
         self._period_timer = self.sim.after(self.update_period_ns, self._on_period)
 
     def stop(self) -> None:
         self.running = False
+        self.stats.credit_rate_bps = 0.0
         if self._credit_timer is not None:
             self._credit_timer.cancel()
             self._credit_timer = None
@@ -95,5 +97,5 @@ class CreditPacer:
         self._period_timer = None
         if not self.running:
             return
-        self.feedback.on_period()
+        self.stats.credit_rate_bps = self.feedback.on_period()
         self._period_timer = self.sim.after(self.update_period_ns, self._on_period)

@@ -76,7 +76,8 @@ class TestBenchRecords:
                                ("packet_forwarding", "packets_per_sec"),
                                ("dwrr_egress", "packets_per_sec"),
                                ("packet_pool", "packets_per_sec"),
-                               ("sweep_throughput", "configs_per_sec")]:
+                               ("sweep_throughput", "configs_per_sec"),
+                               ("telemetry_overhead", "packets_per_sec")]:
             assert doc["results"][name][rate_key] > 0
 
 
@@ -89,7 +90,8 @@ class TestProfileHarness:
         doc = json.loads(open(out).read())
         assert set(doc["results"]) == {"event_dispatch", "packet_forwarding",
                                        "dwrr_egress", "packet_pool",
-                                       "sweep_throughput"}
+                                       "sweep_throughput",
+                                       "telemetry_overhead"}
         for metrics in doc["results"].values():
             rate = next(v for k, v in metrics.items()
                         if k.endswith("_per_sec"))
@@ -110,7 +112,7 @@ class TestProfileHarness:
         tool = _load_profile_tool()
         assert set(tool.RECORD_NAMES.values()) == {
             "event_dispatch", "packet_forwarding", "dwrr_egress",
-            "packet_pool", "sweep_throughput"}
+            "packet_pool", "sweep_throughput", "telemetry_overhead"}
 
 
 class TestBenchCli:

@@ -82,6 +82,46 @@ class TestTracer:
         out = tracer.dump(limit=3)
         assert "more events" in out
 
+    def test_close_uninstalls_every_hook(self):
+        db, tracer, _ = run_traced_flexpass()
+        assert any(port.monitors
+                   for node in db.topo.nodes.values()
+                   for port in node.ports.values())
+        recorded = len(tracer.events)
+        tracer.close()
+        for node in db.topo.nodes.values():
+            for port in node.ports.values():
+                assert not port.monitors, f"{port.name} still hooked"
+        # idempotent, and recorded events stay queryable
+        tracer.close()
+        assert len(tracer.events) == recorded
+
+    def test_context_manager_closes_on_exit(self):
+        sim = Simulator()
+        db = build_dumbbell(sim, flexpass_queue_factory(QueueSettings()),
+                            DumbbellSpec(n_pairs=1))
+        spec = FlowSpec(1, db.senders[0], db.receivers[0], 20 * KB, 0,
+                        scheme="dctcp")
+        st = FlowStats()
+        DctcpReceiver(sim, spec, st, DctcpParams())
+        s = DctcpSender(sim, spec, st, DctcpParams())
+        sim.at(0, s.start)
+        with PacketTracer(db.topo.nodes.values()) as tracer:
+            sim.run(until=20 * MILLIS)
+        assert tracer.events
+        for node in db.topo.nodes.values():
+            for port in node.ports.values():
+                assert not port.monitors
+
+    def test_close_tolerates_externally_cleared_monitors(self):
+        sim = Simulator()
+        db = build_dumbbell(sim, single_queue_factory, DumbbellSpec(n_pairs=1))
+        tracer = PacketTracer(db.topo.nodes.values())
+        for node in db.topo.nodes.values():
+            for port in node.ports.values():
+                port.monitors.clear()
+        tracer.close()  # must not raise
+
 
 class TestPathSymmetry:
     def test_credits_mirror_data_path_on_clos(self):

@@ -92,6 +92,45 @@ def scenario_forwarding(n_packets: int) -> dict:
             "events_per_sec": sim.events_run / elapsed}
 
 
+def scenario_telemetry(n_packets: int) -> dict:
+    """Forwarding with a telemetry sampler attached at the default cadence.
+
+    Same dumbbell workload as ``scenario_forwarding``, plus a
+    :class:`~repro.metrics.telemetry.TelemetrySampler` watching every port
+    on the path at 100 µs — the telemetry-ON side of the overhead gate in
+    ``benchmarks/test_bench_simulator_perf.py``.
+    """
+    from repro.metrics.telemetry import TelemetrySampler
+    from repro.sim.units import MILLIS
+
+    sim = Simulator()
+    db = build_dumbbell(sim, _single_queue_factory, DumbbellSpec(n_pairs=1))
+    rec = _Recorder()
+    db.receivers[0].register_receiver(1, rec)
+    src, dst = db.senders[0], db.receivers[0]
+    # 1584 B at 10 Gbps serializes in ~1.27 µs, so the bottleneck drains in
+    # ~1.27 µs x n_packets: bound the sampler just past that so it covers
+    # the whole run but lets the heap empty.
+    horizon = ((n_packets * 1600) // MILLIS + 2) * MILLIS
+    sampler = TelemetrySampler(sim, interval_ns=100_000, until_ns=horizon)
+    for port in db.topo.all_ports():
+        sampler.watch_port(port)
+        sampler.watch_link(port)
+    sampler.watch_pool()
+    sampler.start()
+    for _ in range(n_packets):
+        src.send(Packet(PacketKind.DATA, 1, src.id, dst.id, 1584,
+                        dscp=Dscp.LEGACY))
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    assert rec.count == n_packets
+    series = sampler.freeze()
+    return {"n_packets": n_packets, "elapsed_s": elapsed,
+            "packets_per_sec": n_packets / elapsed,
+            "n_series": len(series), "ticks": sampler.ticks}
+
+
 def scenario_dwrr(n_packets: int) -> dict:
     """Egress scheduler: drain ``n_packets`` through a 3-queue port config
     (strict-priority credit queue + two DWRR data queues, one small-weight)."""
@@ -182,6 +221,7 @@ def scenario_experiment(_size: int) -> dict:
 SCENARIOS = {
     "dispatch": (scenario_dispatch, "events"),
     "forwarding": (scenario_forwarding, "packets"),
+    "telemetry": (scenario_telemetry, "packets"),
     "dwrr": (scenario_dwrr, "packets"),
     "pool": (scenario_pool, "packets"),
     "sweep": (scenario_sweep, "configs"),
@@ -192,16 +232,17 @@ SCENARIOS = {
 RECORD_NAMES = {
     "dispatch": "event_dispatch",
     "forwarding": "packet_forwarding",
+    "telemetry": "telemetry_overhead",
     "dwrr": "dwrr_egress",
     "pool": "packet_pool",
     "sweep": "sweep_throughput",
     # "experiment" is a profiling target, not a tracked benchmark
 }
 
-QUICK_SIZES = {"dispatch": 20_000, "forwarding": 2_000, "dwrr": 6_000,
-               "pool": 20_000, "sweep": 4, "experiment": 1}
-FULL_SIZES = {"dispatch": 200_000, "forwarding": 20_000, "dwrr": 60_000,
-              "pool": 200_000, "sweep": 16, "experiment": 1}
+QUICK_SIZES = {"dispatch": 20_000, "forwarding": 2_000, "telemetry": 2_000,
+               "dwrr": 6_000, "pool": 20_000, "sweep": 4, "experiment": 1}
+FULL_SIZES = {"dispatch": 200_000, "forwarding": 20_000, "telemetry": 20_000,
+              "dwrr": 60_000, "pool": 200_000, "sweep": 16, "experiment": 1}
 
 
 def run_scenario(name: str, size: int, profile: bool, top: int,

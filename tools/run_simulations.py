@@ -24,6 +24,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.experiments.config import ExperimentConfig, SchemeName  # noqa: E402
 from repro.experiments.parallel import FailedResult, run_many  # noqa: E402
 from repro.experiments.sweep import default_sweep_config  # noqa: E402
+from repro.metrics.telemetry import TelemetryConfig  # noqa: E402
 from repro.net.topology import ClosSpec  # noqa: E402
 from repro.sim.units import MILLIS  # noqa: E402
 
@@ -88,12 +89,17 @@ def main() -> int:
     parser.add_argument("--paper-scale", action="store_true")
     parser.add_argument("--only", nargs="*", default=None,
                         help="run only experiment ids with these prefixes")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="sample time-series per experiment and write "
+                             "telemetry_<id>.csv/.json beside the FCT files")
     args = parser.parse_args()
 
     overrides = dict(load=args.load, sim_time_ns=args.ms * MILLIS,
                      seed=args.seed, size_scale=args.size_scale)
     if args.paper_scale:
         overrides.update(clos=ClosSpec.paper_scale(), size_scale=1.0)
+    if args.telemetry:
+        overrides["telemetry"] = TelemetryConfig()
     base = default_sweep_config(**overrides)
 
     grid = build_grid(base)
@@ -125,6 +131,11 @@ def main() -> int:
                 w.writerow([r.flow_id, r.scheme, r.group, r.role,
                             r.size_bytes, r.start_ns, r.fct_ns, r.timeouts,
                             r.retransmissions])
+        if res.telemetry is not None:
+            res.telemetry.write_csv(
+                os.path.join(args.out, f"telemetry_{eid}.csv"))
+            res.telemetry.write_json(
+                os.path.join(args.out, f"telemetry_{eid}.json"))
         index_rows.append([eid, cfg.scheme.value, cfg.deployment, cfg.load,
                            cfg.foreground_fraction, cfg.workload,
                            len(res.records), res.completed,
