@@ -22,7 +22,7 @@ def test_bench_fig10(benchmark):
     print_grid(
         "Figure 10: 99p small-flow FCT and overall average FCT",
         fig10_rows(grid),
-        ("scheme", "deployed", "p99 small (ms)", "avg (ms)"),
+        ("scheme", "deployed", "p99 small (ms)", "avg (ms)", "censored"),
     )
     baseline = grid[("flexpass", 0.0)]
     # Shape 1: naïve deployment hurts tail FCT mid-transition far more than

@@ -20,7 +20,7 @@ def test_bench_fig11(benchmark):
     print_grid(
         "Figure 11: mixed traffic (10% foreground incast)",
         fig10_rows(grid),
-        ("scheme", "deployed", "p99 small (ms)", "avg (ms)"),
+        ("scheme", "deployed", "p99 small (ms)", "avg (ms)", "censored"),
     )
     # Shape: FlexPass's tail FCT stays well below naïve's both
     # mid-transition and at full deployment. (At this scaled-down incast

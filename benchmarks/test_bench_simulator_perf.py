@@ -152,6 +152,83 @@ def test_bench_telemetry_overhead(benchmark):
     )
 
 
+def _forwarding_audit_elapsed(mode: str, n: int = 20_000):
+    """One forwarding run with the audit attach path in ``mode``:
+    ``"off"`` (no audit config at all), ``"disabled"``
+    (``AuditConfig(enabled=False)`` through the same gate the runner
+    uses — nothing may be constructed), ``"enabled"`` (digest taps +
+    100 µs checkpoints + the full horizon audit).
+    Returns (elapsed seconds, packets delivered)."""
+    from repro.audit import AuditConfig, InvariantAuditor
+    from repro.sim.units import MILLIS
+
+    sim = Simulator()
+    db = build_dumbbell(sim, single_queue_factory, DumbbellSpec(n_pairs=1))
+    rec = Recorder()
+    db.receivers[0].register_receiver(1, rec)
+    src, dst = db.senders[0], db.receivers[0]
+    auditor = None
+    if mode != "off":
+        acfg = AuditConfig(enabled=(mode == "enabled"), digest=True,
+                           checkpoint_interval_ns=100_000)
+        if acfg.enabled:  # the runner's _attach_audit gate
+            horizon = ((n * 1584 * 8) // 10 + 2 * MILLIS)
+            auditor = InvariantAuditor(sim, db.topo, config=acfg)
+            auditor.install(horizon)
+    for _ in range(n):
+        src.send(Packet(PacketKind.DATA, 1, src.id, dst.id, 1584,
+                        dscp=Dscp.LEGACY))
+    t0 = time.perf_counter()
+    sim.run()
+    if auditor is not None:
+        report = auditor.finalize()
+        assert report.ok, report.violations
+    return time.perf_counter() - t0, len(rec.packets)
+
+
+def test_bench_audit_overhead(benchmark):
+    """A disabled audit must be free: <2% packets/sec vs the plain
+    forwarding baseline, because the attach gate constructs nothing and
+    installs no per-packet hook. The fully enabled cost (digest taps on
+    every delivery + checkpoints + horizon audit) rides along as a
+    tracked metric, not a gate.
+
+    Interleaved min-of-4 pairs, like the telemetry gate: a real
+    regression (a hook sneaking into the disabled path) inflates every
+    pair; scheduler noise inflates only some.
+    """
+    n = 20_000
+
+    def run():
+        # Untimed warmup on all three sides (imports, allocator warmup).
+        _forwarding_audit_elapsed("off", 2_000)
+        _forwarding_audit_elapsed("disabled", 2_000)
+        _forwarding_audit_elapsed("enabled", 2_000)
+        pair_overheads, dis_times, enabled_overheads = [], [], []
+        for _ in range(4):
+            t_off, delivered = _forwarding_audit_elapsed("off", n)
+            assert delivered == n
+            t_dis, delivered = _forwarding_audit_elapsed("disabled", n)
+            assert delivered == n
+            t_on, delivered = _forwarding_audit_elapsed("enabled", n)
+            assert delivered == n
+            pair_overheads.append(t_dis / t_off - 1.0)
+            enabled_overheads.append(t_on / t_off - 1.0)
+            dis_times.append(t_dis)
+        overhead = min(pair_overheads)
+        _record_rate("audit_overhead", n, min(dis_times), "packets",
+                     overhead_fraction=overhead,
+                     enabled_overhead_fraction=min(enabled_overheads))
+        return overhead
+
+    overhead = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert overhead < 0.02, (
+        f"disabled audit costs {overhead:.1%} packets/sec (budget 2%) "
+        f"on the forwarding bench — the disabled path must construct "
+        f"nothing"
+    )
+
+
 def test_bench_dwrr_egress(benchmark):
     """Egress scheduler: drain 60k packets through the paper's 3-queue port
     shape (strict-priority credit queue + two DWRR data queues, one with a

@@ -48,7 +48,7 @@ def main() -> None:
     print_grid(
         "Figure 10: FCT during the transition (lower is better)",
         fig10_rows(grid),
-        ("scheme", "deployed", "p99 small FCT (ms)", "avg FCT (ms)"),
+        ("scheme", "deployed", "p99 small FCT (ms)", "avg FCT (ms)", "censored"),
     )
     print_grid(
         "Figure 12: tail FCT by traffic group",

@@ -1,0 +1,24 @@
+"""Opt-in correctness auditing: conservation invariants + deterministic
+replay.
+
+Enable per run with ``ExperimentConfig(audit=AuditConfig(...))``, from
+the CLI with ``repro audit`` (the scheme x topology invariant matrix, or
+``--replay`` for the determinism cell), or from ``tools/run_simulations.py
+--audit``. Disabled (the default), nothing is constructed — zero
+per-packet and per-event cost, verified by the ``audit_overhead`` A/B
+bench.
+"""
+
+from repro.audit.config import AuditConfig
+from repro.audit.digest import DigestRecorder, EventDigest, install_digest_taps
+from repro.audit.invariants import AuditError, AuditReport, InvariantAuditor
+
+__all__ = [
+    "AuditConfig",
+    "AuditError",
+    "AuditReport",
+    "DigestRecorder",
+    "EventDigest",
+    "InvariantAuditor",
+    "install_digest_taps",
+]

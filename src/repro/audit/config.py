@@ -1,0 +1,50 @@
+"""Audit knobs.
+
+:class:`AuditConfig` lives on ``ExperimentConfig`` (like
+``TelemetryConfig``), so it participates in the experiment-cache content
+key: a cached result always records whether — and how — it was audited,
+and flipping any audit knob re-simulates. Every field is a plain scalar
+so :func:`repro.experiments.cache.canonicalize` accepts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.units import MICROS
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Opt-in correctness auditing for one experiment run."""
+
+    enabled: bool = True
+    #: run the cheap instantaneous-consistency checks (buffer/queue
+    #: bookkeeping) every this many ns; ``None`` checks at the horizon only
+    checkpoint_interval_ns: Optional[int] = 500 * MICROS
+    #: record the rolling event digest (required for ``repro audit --replay``)
+    digest: bool = False
+    #: digest bucketing granularity; divergences are reported per epoch
+    digest_epoch_ns: int = 100 * MICROS
+    #: additionally capture raw event tuples for this epoch index (used by
+    #: the first-divergence reporter to dump both event windows)
+    capture_epoch: Optional[int] = None
+    #: cap on captured raw events per run
+    capture_limit: int = 256
+    #: raise :class:`repro.audit.invariants.AuditError` on the first
+    #: violation instead of collecting them into the report
+    fail_fast: bool = False
+    #: cap on collected violation messages
+    max_violations: int = 64
+
+    def __post_init__(self) -> None:
+        if (self.checkpoint_interval_ns is not None
+                and self.checkpoint_interval_ns <= 0):
+            raise ValueError("checkpoint_interval_ns must be positive or None")
+        if self.digest_epoch_ns <= 0:
+            raise ValueError("digest_epoch_ns must be positive")
+        if self.capture_limit <= 0:
+            raise ValueError("capture_limit must be positive")
+        if self.max_violations <= 0:
+            raise ValueError("max_violations must be positive")

@@ -1,0 +1,108 @@
+"""The CI audit matrix: scheme x topology cells with auditing enabled.
+
+Each cell is a short-horizon :func:`run_experiment` over one of three
+fabric shapes — a dumbbell (two racks through one spine), an incast rack
+(one ToR, foreground incast traffic), and the default two-pod Clos — for
+each transport scheme. A cell passes when its :class:`AuditReport` has
+zero violations; any violation is a bookkeeping bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.audit.config import AuditConfig
+from repro.net.topology import ClosSpec
+from repro.sim.units import MILLIS
+
+#: the five transport schemes the matrix exercises (enum values)
+MATRIX_SCHEMES = ("dctcp", "naive", "homa", "ly", "flexpass")
+
+#: topology name -> (ClosSpec shape, config overrides)
+MATRIX_TOPOLOGIES: Dict[str, Tuple[ClosSpec, Dict[str, object]]] = {
+    # two racks, one spine layer: the classic shared-bottleneck shape
+    "dumbbell": (
+        ClosSpec(n_pods=1, aggs_per_pod=1, tors_per_pod=2, hosts_per_tor=2),
+        {},
+    ),
+    # one rack fanning into one ToR, with foreground incast bursts
+    "incast": (
+        ClosSpec(n_pods=1, aggs_per_pod=1, tors_per_pod=1, hosts_per_tor=6),
+        {"foreground_fraction": 0.3},
+    ),
+    # the default two-pod Clos the figure sweeps run on
+    "clos": (
+        ClosSpec(n_pods=2, aggs_per_pod=2, tors_per_pod=2, hosts_per_tor=4),
+        {},
+    ),
+}
+
+
+@dataclass
+class MatrixCell:
+    """One audited (scheme, topology) run."""
+
+    scheme: str
+    topology: str
+    violations: List[str] = field(default_factory=list)
+    checks: int = 0
+    checkpoints: int = 0
+    flows: int = 0
+    completed: int = 0
+    aborted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.aborted
+
+
+def matrix_config(scheme: str, topology: str, sim_time_ns: int = 2 * MILLIS,
+                  seed: int = 1, load: float = 0.5,
+                  audit: Optional[AuditConfig] = None):
+    """Build the ExperimentConfig for one matrix cell."""
+    from repro.experiments.config import ExperimentConfig, SchemeName
+    from repro.experiments.sweep import default_sweep_config
+
+    try:
+        clos, overrides = MATRIX_TOPOLOGIES[topology]
+    except KeyError:
+        raise ValueError(
+            f"unknown audit topology {topology!r}; choose from "
+            f"{sorted(MATRIX_TOPOLOGIES)}") from None
+    scheme_name = SchemeName(scheme)
+    deployment = 0.0 if scheme_name == SchemeName.DCTCP else 1.0
+    return default_sweep_config(
+        scheme=scheme_name, deployment=deployment, clos=clos,
+        sim_time_ns=sim_time_ns, seed=seed, load=load,
+        audit=audit if audit is not None else AuditConfig(),
+        **overrides,
+    )
+
+
+def run_matrix(schemes: Sequence[str] = MATRIX_SCHEMES,
+               topologies: Sequence[str] = tuple(MATRIX_TOPOLOGIES),
+               sim_time_ns: int = 2 * MILLIS, seed: int = 1,
+               load: float = 0.5) -> List[MatrixCell]:
+    """Run every (scheme, topology) cell and collect its audit outcome."""
+    from repro.experiments.runner import run_experiment
+
+    cells: List[MatrixCell] = []
+    for topology in topologies:
+        for scheme in schemes:
+            cfg = matrix_config(scheme, topology, sim_time_ns=sim_time_ns,
+                                seed=seed, load=load)
+            res = run_experiment(cfg)
+            report = res.audit
+            cells.append(MatrixCell(
+                scheme=scheme,
+                topology=topology,
+                violations=list(report.violations) if report else
+                ["audit report missing from result"],
+                checks=report.checks if report else 0,
+                checkpoints=report.checkpoints if report else 0,
+                flows=len(res.records),
+                completed=res.completed,
+                aborted=res.aborted,
+            ))
+    return cells

@@ -19,6 +19,8 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.audit.matrix import MATRIX_SCHEMES, MATRIX_TOPOLOGIES, run_matrix
+from repro.audit.replay import format_replay_report, replay_config
 from repro.experiments.config import SchemeName
 from repro.metrics.telemetry import TelemetryConfig, TelemetrySeries
 from repro.experiments.figures import (
@@ -83,7 +85,8 @@ def _figure_fig09(base) -> None:
 def _figure_fig10(base) -> None:
     grid = deployment_sweep(base)
     print_grid("Figure 10", fig10_rows(grid),
-               ("scheme", "deployed", "p99 small (ms)", "avg (ms)"))
+               ("scheme", "deployed", "p99 small (ms)", "avg (ms)",
+                "censored"))
     print_grid("Figure 12", fig12_rows(grid),
                ("scheme", "deployed", "legacy p99", "upgraded p99"))
     print_grid("Figure 13", fig13_rows(grid),
@@ -240,6 +243,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_args(p_run)
     _add_fault_args(p_run)
     _add_telemetry_args(p_run)
+
+    p_audit = sub.add_parser(
+        "audit", help="correctness audit: invariant matrix or replay cell")
+    p_audit.add_argument(
+        "--schemes", nargs="+", default=list(MATRIX_SCHEMES),
+        choices=[s.value for s in SchemeName],
+        help="transport schemes to audit")
+    p_audit.add_argument(
+        "--topos", nargs="+", default=list(MATRIX_TOPOLOGIES),
+        choices=sorted(MATRIX_TOPOLOGIES),
+        help="fabric shapes to audit")
+    p_audit.add_argument("--ms", type=int, default=2, help="simulated ms")
+    p_audit.add_argument("--seed", type=int, default=1)
+    p_audit.add_argument("--load", type=float, default=0.5)
+    p_audit.add_argument(
+        "--replay", action="store_true",
+        help="determinism cell: run the first scheme x topo twice (through "
+             "worker pickling and a cache round-trip) and compare digests")
     return parser
 
 
@@ -303,7 +324,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         schemes = tuple(SchemeName(s) for s in args.schemes)
         grid = deployment_sweep(base, schemes, tuple(args.deployments))
         print_grid("Deployment sweep", fig10_rows(grid),
-                   ("scheme", "deployed", "p99 small (ms)", "avg (ms)"))
+                   ("scheme", "deployed", "p99 small (ms)", "avg (ms)",
+                    "censored"))
         print_grid("By traffic group", fig12_rows(grid),
                    ("scheme", "deployed", "legacy p99", "upgraded p99"))
         return 0
@@ -316,8 +338,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         s_all, s_small = res.fct(), res.fct(small=True)
         rows = [
             ("flows completed", f"{res.completed}/{len(res.records)}"),
+            ("flows censored (no FCT)", s_all.censored),
             ("avg FCT (ms)", s_all.avg_ms),
             ("p99 small FCT (ms)", s_small.p99_ms),
+            ("small flows censored", s_small.censored),
             ("timeouts", res.total_timeouts),
             ("Q1 avg (kB)", res.q1_avg_kb),
             ("Q1 p90 (kB)", res.q1_p90_kb),
@@ -346,7 +370,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         if res.telemetry is not None:
             _report_telemetry(res.telemetry, args.telemetry_out)
         return 0
+    if args.command == "audit":
+        return _run_audit(args)
     return 1  # pragma: no cover
+
+
+def _run_audit(args) -> int:
+    """The ``repro audit`` subcommand: invariant matrix or replay cell.
+
+    Exits nonzero on any invariant violation, aborted cell, or digest
+    divergence, so CI can gate on it directly.
+    """
+    horizon_ns = args.ms * MILLIS
+    if args.replay:
+        from repro.audit.matrix import matrix_config
+
+        scheme, topo = args.schemes[0], args.topos[0]
+        cfg = matrix_config(scheme, topo, sim_time_ns=horizon_ns,
+                            seed=args.seed, load=args.load)
+        print(f"replay cell: {scheme} x {topo}, {args.ms} ms horizon")
+        report = replay_config(cfg)
+        print(format_replay_report(report))
+        return 0 if report.match else 1
+    cells = run_matrix(schemes=tuple(args.schemes),
+                       topologies=tuple(args.topos),
+                       sim_time_ns=horizon_ns, seed=args.seed,
+                       load=args.load)
+    rows = [
+        (c.topology, c.scheme,
+         "OK" if c.ok else ("ABORTED" if c.aborted else "FAIL"),
+         c.checks, c.checkpoints, f"{c.completed}/{c.flows}",
+         len(c.violations))
+        for c in cells
+    ]
+    print_table("Invariant audit matrix",
+                ("topology", "scheme", "status", "checks", "checkpoints",
+                 "flows", "violations"),
+                rows)
+    failed = [c for c in cells if not c.ok]
+    for c in failed:
+        print(f"\n{c.topology} x {c.scheme}:")
+        for v in c.violations:
+            print(f"  {v}")
+    if failed:
+        print(f"\n{len(failed)}/{len(cells)} cells FAILED")
+        return 1
+    print(f"\nall {len(cells)} cells passed")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

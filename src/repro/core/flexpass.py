@@ -168,6 +168,7 @@ class FlexPassSender:
     # ------------------------------------------------- proactive sub-flow
 
     def _on_credit(self, credit: Packet) -> None:
+        self.stats.credits_received += 1
         if not self._got_credit:
             self._got_credit = True
             if self._request_timer is not None:
@@ -177,6 +178,7 @@ class FlexPassSender:
         if seg is None:
             self.stats.credits_wasted += 1
             return
+        self.stats.credited_sends += 1
         if kind == "lost":
             self.stats.retransmissions += 1
         elif kind == "reactive":

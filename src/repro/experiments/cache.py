@@ -43,7 +43,7 @@ from repro.metrics.fct import PackedFlowRecords
 
 #: Bump whenever simulation semantics change, so stale results cannot leak
 #: across PRs. ``REPRO_CACHE_SALT`` overrides (emergency invalidation).
-DEFAULT_CODE_SALT = "sim-v4"
+DEFAULT_CODE_SALT = "sim-v5"
 
 
 def canonicalize(value) -> object:

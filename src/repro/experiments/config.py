@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.audit.config import AuditConfig
 from repro.faults.plan import FaultPlan
 from repro.metrics.telemetry import TelemetryConfig
 from repro.net.topology import ClosSpec
@@ -88,6 +89,8 @@ class ExperimentConfig:
     faults: Optional[FaultPlan] = None
     #: time-series sampling (None = off); see :mod:`repro.metrics.telemetry`
     telemetry: Optional[TelemetryConfig] = None
+    #: correctness auditing (None = off); see :mod:`repro.audit`
+    audit: Optional[AuditConfig] = None
     #: watchdog: abort the simulation after this many events (None = off)
     max_events: Optional[int] = None
     #: watchdog: abort after this much real time in seconds (None = off)

@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.audit.invariants import AuditReport, InvariantAuditor
 from repro.experiments.config import ExperimentConfig, SchemeName
 from repro.experiments.scenarios import SchemeSetup, make_scheme_setup
 from repro.faults.counters import FaultCounters
@@ -63,6 +64,8 @@ class ExperimentResult:
     abort_reason: str = ""
     #: time-series sampled during the run (None unless cfg.telemetry is set)
     telemetry: Optional[TelemetrySeries] = None
+    #: invariant/digest audit outcome (None unless cfg.audit is enabled)
+    audit: Optional[AuditReport] = None
 
     # ------------------------------------------------------------ queries
 
@@ -143,6 +146,7 @@ def run_experiment(cfg: ExperimentConfig,
         sim.at(spec.start_ns, launch, spec)
 
     sampler = _attach_telemetry(sim, cfg, clos, live, sample_q1)
+    auditor = _attach_audit(sim, cfg, clos, live)
 
     sim.run(until=cfg.sim_time_ns, max_events=cfg.max_events,
             wall_clock_s=cfg.max_wall_seconds)
@@ -160,6 +164,8 @@ def run_experiment(cfg: ExperimentConfig,
         aborted=sim.aborted,
         abort_reason=sim.abort_reason,
     )
+    if auditor is not None:
+        result.audit = auditor.finalize()
     if sampler is not None:
         series = sampler.freeze()
         if cfg.telemetry is not None:
@@ -169,6 +175,23 @@ def run_experiment(cfg: ExperimentConfig,
         if sample_q1:
             _fill_q1_stats(result, series, clos)
     return result
+
+
+def _attach_audit(sim: Simulator, cfg: ExperimentConfig, clos: Clos,
+                  live) -> Optional[InvariantAuditor]:
+    """Build and arm the run's invariant auditor (or None when off).
+
+    Runs after fault splicing (so digest taps wrap the spliced links) and
+    before traffic starts (the packet-pool baseline is snapshotted at
+    construction). When ``cfg.audit`` is None or disabled, nothing is
+    constructed at all — the same zero-cost discipline as telemetry.
+    """
+    acfg = cfg.audit
+    if acfg is None or not acfg.enabled:
+        return None
+    auditor = InvariantAuditor(sim, clos.topo, live, config=acfg)
+    auditor.install(cfg.sim_time_ns)
+    return auditor
 
 
 def _attach_telemetry(sim: Simulator, cfg: ExperimentConfig, clos: Clos,

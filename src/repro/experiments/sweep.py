@@ -52,6 +52,8 @@ class SweepCell:
     workload: str
     flows: int
     completed: int
+    censored: int
+    censored_small: int
     avg_all_ms: float
     p99_small_ms: float
     p99_small_new_ms: float
@@ -78,6 +80,8 @@ class SweepCell:
             workload=cfg.workload,
             flows=len(res.records),
             completed=res.completed,
+            censored=res.fct().censored,
+            censored_small=res.fct(small=True).censored,
             avg_all_ms=res.fct().avg_ms,
             p99_small_ms=res.fct(small=True).p99_ms,
             p99_small_new_ms=res.fct(small=True, group="new").p99_ms,
@@ -135,7 +139,8 @@ def fig10_rows(grid: Dict[GridKey, SweepCell]):
     FCT per scheme per deployment point."""
     rows = []
     for (scheme, dep), cell in sorted(grid.items()):
-        rows.append((scheme, f"{dep:.0%}", cell.p99_small_ms, cell.avg_all_ms))
+        rows.append((scheme, f"{dep:.0%}", cell.p99_small_ms, cell.avg_all_ms,
+                     cell.censored))
     return rows
 
 

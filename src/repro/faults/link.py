@@ -113,8 +113,14 @@ class FaultyLink:
             return
         self.down = True
         for handle in self._in_flight.values():
+            # Grab the frame before cancel() clears the event args: a
+            # discarded packet still has to go back to the freelist (or the
+            # keep_dropped ledger) or the pool leaks one packet per discard.
+            pkt = handle.args[1] if len(handle.args) == 2 else None
             handle.cancel()
             self.counters.discarded_in_flight += 1
+            if pkt is not None:
+                self._record(pkt)
         self._in_flight.clear()
 
     def restore(self) -> None:

@@ -75,31 +75,42 @@ class FctSummary:
     stddev_ms: float
     max_ms: float
     timeouts: int
+    #: flows matching the filters that never finished inside the horizon —
+    #: they contribute nothing to the statistics above, so a non-zero
+    #: count flags the percentiles as censoring-biased (a scheme that
+    #: strands its slow flows looks faster exactly because of them)
+    censored: int = 0
 
     @classmethod
-    def empty(cls) -> "FctSummary":
+    def empty(cls, censored: int = 0) -> "FctSummary":
         return cls(0, float("nan"), float("nan"), float("nan"),
-                   float("nan"), float("nan"), 0)
+                   float("nan"), float("nan"), 0, censored)
 
 
 def summarize(records: Iterable[FlowRecord],
               small_cutoff_bytes: Optional[int] = None,
               group: Optional[str] = None,
               role: Optional[str] = None) -> FctSummary:
-    """Summarize completed flows matching the filters."""
+    """Summarize completed flows matching the filters.
+
+    Unfinished flows matching the same filters are counted in
+    ``censored`` rather than silently dropped.
+    """
     sel: List[FlowRecord] = []
+    censored = 0
     for r in records:
-        if not r.completed:
-            continue
         if small_cutoff_bytes is not None and r.size_bytes >= small_cutoff_bytes:
             continue
         if group is not None and r.group != group:
             continue
         if role is not None and r.role != role:
             continue
+        if not r.completed:
+            censored += 1
+            continue
         sel.append(r)
     if not sel:
-        return FctSummary.empty()
+        return FctSummary.empty(censored=censored)
     fcts_ms = np.array([r.fct_ns for r in sel], dtype=float) / 1e6
     return FctSummary(
         count=len(sel),
@@ -109,6 +120,7 @@ def summarize(records: Iterable[FlowRecord],
         stddev_ms=float(np.std(fcts_ms)),
         max_ms=float(np.max(fcts_ms)),
         timeouts=sum(r.timeouts for r in sel),
+        censored=censored,
     )
 
 

@@ -80,4 +80,9 @@ class UnlimitedBuffer:
         return True
 
     def release(self, pkt_bytes: int) -> None:
+        # Same guard as SharedBuffer: a negative occupancy means a packet
+        # was released twice (or released without being admitted), and
+        # letting it go silently negative masks the double-release.
         self.used -= pkt_bytes
+        if self.used < 0:
+            raise RuntimeError("shared buffer accounting went negative")

@@ -5,69 +5,75 @@ data packets the credits trigger consume at most the reserved fraction of
 the link (§4.1). The limiter is a standard token bucket: tokens accrue at
 ``rate_bps`` up to ``bucket_bytes``; a packet may depart once the bucket
 holds its full size.
+
+Tokens are tracked as exact integers in units of one byte / (8 * SECONDS)
+— one unit is what ``rate_bps = 1`` accrues per nanosecond — so refilling
+is path-independent: probing ``tokens()`` at intermediate instants can
+never change whether ``can_send`` holds at a later instant. The float
+implementation this replaces drifted by rounding once per refill, which
+broke ``can_send(eligible_at(t, n), n)`` whenever another query touched
+the bucket between ``t`` and the wake.
 """
 
 from __future__ import annotations
 
-import math
-
 from repro.sim.units import SECONDS
+
+#: integer token units per byte (unit = smallest accrual of rate_bps=1/ns)
+_UNITS_PER_BYTE = 8 * SECONDS
 
 
 class TokenBucket:
     """Byte-granularity token bucket over the integer-ns clock."""
 
-    __slots__ = ("rate_bps", "bucket_bytes", "_tokens", "_last_ns")
+    __slots__ = ("rate_bps", "bucket_bytes", "_units", "_last_ns")
 
     def __init__(self, rate_bps: int, bucket_bytes: int) -> None:
         if rate_bps <= 0:
             raise ValueError("token bucket rate must be positive")
         if bucket_bytes <= 0:
             raise ValueError("token bucket depth must be positive")
-        self.rate_bps = rate_bps
+        self.rate_bps = int(rate_bps)
         self.bucket_bytes = bucket_bytes
-        self._tokens = float(bucket_bytes)
+        self._units = bucket_bytes * _UNITS_PER_BYTE
         self._last_ns = 0
 
     def _refill(self, now_ns: int) -> None:
         if now_ns > self._last_ns:
-            self._tokens = min(
-                self.bucket_bytes,
-                self._tokens + (now_ns - self._last_ns) * self.rate_bps / (8.0 * SECONDS),
+            self._units = min(
+                self.bucket_bytes * _UNITS_PER_BYTE,
+                self._units + (now_ns - self._last_ns) * self.rate_bps,
             )
             self._last_ns = now_ns
 
     def tokens(self, now_ns: int) -> float:
         """Tokens (bytes) available at ``now_ns``."""
         self._refill(now_ns)
-        return self._tokens
+        return self._units / _UNITS_PER_BYTE
 
     def can_send(self, now_ns: int, nbytes: int) -> bool:
-        return self.tokens(now_ns) >= nbytes
+        self._refill(now_ns)
+        return self._units >= nbytes * _UNITS_PER_BYTE
 
     def consume(self, now_ns: int, nbytes: int) -> None:
         """Spend tokens for a departing packet. Caller must check first."""
         self._refill(now_ns)
-        if self._tokens < nbytes:
+        need = nbytes * _UNITS_PER_BYTE
+        if self._units < need:
             raise RuntimeError("token bucket overdrawn; call can_send first")
-        self._tokens -= nbytes
+        self._units -= need
 
     def eligible_at(self, now_ns: int, nbytes: int) -> int:
         """Earliest time at which ``nbytes`` tokens will be available.
 
-        Uses ceiling division: when the deficit divides the rate exactly the
-        returned instant is exact, not one nanosecond late — an ``int(x)+1``
-        rounding here systematically overshoots and drifts a paced credit
-        queue below its reserved rate over long runs.
+        Exact ceiling division on integers: when the deficit divides the
+        rate the returned instant is on the nanosecond (no systematic +1 ns
+        that would drift a paced credit queue below its reserved rate), and
+        ``can_send(eligible_at(t, n), n)`` always holds, regardless of any
+        intermediate refills.
         """
         self._refill(now_ns)
-        deficit = nbytes - self._tokens
+        deficit = nbytes * _UNITS_PER_BYTE - self._units
         if deficit <= 0:
             return now_ns
-        rate = self.rate_bps
-        wait_ns = math.ceil(deficit * 8.0 * SECONDS / rate)
-        # Float guard: make sure the bucket really covers nbytes at the
-        # returned instant (the refill at now+wait must not round down).
-        if self._tokens + wait_ns * rate / (8.0 * SECONDS) < nbytes:
-            wait_ns += 1
-        return now_ns + wait_ns
+        return now_ns + (deficit + self.rate_bps - 1) // self.rate_bps

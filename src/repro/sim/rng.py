@@ -14,6 +14,9 @@ from typing import Dict
 
 import numpy as np
 
+#: domain-separation tag ("fork" in ASCII) for derived registries
+FORK_TAG = 0x666F726B
+
 
 class RngRegistry:
     """A registry of named ``numpy.random.Generator`` streams."""
@@ -38,5 +41,13 @@ class RngRegistry:
         return gen
 
     def fork(self, salt: int) -> "RngRegistry":
-        """Derive an independent registry (e.g., per repetition)."""
-        return RngRegistry(seed=(self._seed * 1_000_003 + salt) & 0x7FFFFFFF)
+        """Derive an independent registry (e.g., per repetition).
+
+        The child seed comes from ``SeedSequence([seed, FORK_TAG, salt])``
+        rather than a linear mix: the old ``seed * P + salt`` derivation
+        collided whenever ``seed1 * P + salt1 == seed2 * P + salt2``
+        (e.g. (7, P) and (8, 0)), handing two unrelated scenarios every
+        random stream in common.
+        """
+        seq = np.random.SeedSequence([self._seed, FORK_TAG, int(salt)])
+        return RngRegistry(seed=int(seq.generate_state(1, np.uint64)[0]))

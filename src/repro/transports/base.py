@@ -68,6 +68,10 @@ class FlowStats:
     proactive_retransmissions: int = 0  # FlexPass §4.2 "proactive retransmission"
     credits_sent: int = 0
     credits_wasted: int = 0  # credit arrived but nothing useful to send
+    #: credits that reached the sender (surviving the credit queue); the
+    #: audit invariant is credits_received == credited_sends + credits_wasted
+    credits_received: int = 0
+    credited_sends: int = 0  # data transmissions triggered by a credit
     packets_sent: int = 0
     max_reorder_bytes: int = 0  # peak receiver reordering-buffer occupancy
     #: currently-allocated credit rate (credit-based transports only; 0

@@ -106,6 +106,7 @@ class LayeringSender:
             self._on_ack(pkt)
 
     def _on_credit(self, credit: Packet) -> None:
+        self.stats.credits_received += 1
         if not self._got_credit:
             self._got_credit = True
             if self._request_timer is not None:
@@ -120,6 +121,7 @@ class LayeringSender:
         if seq is None:
             self.stats.credits_wasted += 1
             return
+        self.stats.credited_sends += 1
         self._transmit(seq, credit_echo=credit.seq)
 
     def _pick_segment(self) -> Optional[int]:

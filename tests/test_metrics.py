@@ -54,7 +54,38 @@ class TestSummarize:
         records = [rec(1, fct_ms=1.0), rec(2, fct_ms=None)]
         s = summarize(records)
         assert s.count == 1
+        assert s.censored == 1
         assert completion_ratio(records) == 0.5
+
+    def test_censoring_bias_is_visible(self):
+        """Regression: a scheme that strands its slow flows used to *look*
+        faster — the unfinished flows silently vanished from the average.
+        The censored count is what exposes the comparison as invalid."""
+        honest = [rec(i, fct_ms=1.0) for i in range(8)]
+        honest += [rec(10 + i, fct_ms=9.0) for i in range(2)]
+        stranding = [rec(i, fct_ms=1.0) for i in range(8)]
+        stranding += [rec(10 + i, fct_ms=None) for i in range(2)]
+        s_honest = summarize(honest)
+        s_stranding = summarize(stranding)
+        # The naive average favours the stranding scheme...
+        assert s_stranding.avg_ms < s_honest.avg_ms
+        # ...and the censored counts are the tell.
+        assert s_honest.censored == 0
+        assert s_stranding.censored == 2
+
+    def test_censored_respects_filters(self):
+        records = [rec(1, group="new", fct_ms=None),
+                   rec(2, group="legacy", fct_ms=None),
+                   rec(3, group="new", fct_ms=1.0),
+                   rec(4, group="legacy", size=500 * KB, fct_ms=None)]
+        assert summarize(records, group="new").censored == 1
+        assert summarize(records, group="legacy").censored == 2
+        # The big stranded flow is outside the small-flow cut.
+        assert summarize(records, small_cutoff_bytes=100 * KB).censored == 2
+
+    def test_empty_summary_censored_defaults_zero(self):
+        assert summarize([]).censored == 0
+        assert FctSummary.empty().censored == 0
 
     def test_empty_is_nan(self):
         s = summarize([])

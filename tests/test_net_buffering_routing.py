@@ -62,6 +62,16 @@ class TestSharedBuffer:
         buf.release(10**9)
         assert buf.used == 0
 
+    def test_unlimited_buffer_rejects_negative_occupancy(self):
+        """A release without a matching admit (double release) must raise,
+        exactly like SharedBuffer — a silent negative gauge defeated the
+        audit's buffer-conservation check on host NICs."""
+        buf = UnlimitedBuffer()
+        buf.try_admit(0, 100)
+        buf.release(100)
+        with pytest.raises(RuntimeError, match="negative"):
+            buf.release(1)
+
 
 class TestRouting:
     def _diamond(self):

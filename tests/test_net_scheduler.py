@@ -6,7 +6,7 @@ from repro.net.packet import Color, Dscp, Packet, PacketKind
 from repro.net.queues import PacketQueue, QueueConfig
 from repro.net.ratelimit import TokenBucket
 from repro.net.scheduler import PortScheduler, QueueSchedule
-from repro.sim.units import GBPS
+from repro.sim.units import GBPS, SECONDS
 
 
 def mk_pkt(size=1500, dscp=Dscp.LEGACY):
@@ -326,3 +326,50 @@ class TestTokenBucket:
             TokenBucket(0, 100)
         with pytest.raises(ValueError):
             TokenBucket(GBPS, 0)
+
+    def test_eligible_at_property_stress(self):
+        """~1e5 random (rate, size, gap) steps: the instant ``eligible_at``
+        returns must genuinely admit the packet, never lie in the past, and
+        never be loose by more than one nanosecond of refill."""
+        import random
+
+        rng = random.Random(0xF1E)
+        for _ in range(200):
+            rate = rng.choice([1_000_000, 99_999_999, 8 * GBPS,
+                               rng.randrange(1, 400 * GBPS)])
+            depth = rng.randrange(84, 10_000)
+            tb = TokenBucket(rate_bps=rate, bucket_bytes=depth)
+            now = 0
+            for _ in range(500):
+                n = rng.randrange(1, depth + 1)
+                t = tb.eligible_at(now, n)
+                assert t >= now
+                if t > now:
+                    # Tight: one ns earlier the tokens must not suffice
+                    # (within the float refill granularity of one ns).
+                    # Checked before can_send: the refill clock only moves
+                    # forward, so t-1 must be probed first.
+                    assert tb.tokens(t - 1) < n + rate / (8.0 * SECONDS)
+                assert tb.can_send(t, n)
+                if rng.random() < 0.7:
+                    tb.consume(t, n)
+                    now = t
+                else:
+                    now = t + rng.randrange(0, 10_000)
+
+    def test_paced_rate_has_no_cumulative_drift(self):
+        """Draining fixed-size packets as fast as eligible_at allows must
+        achieve the configured rate exactly — any per-packet rounding error
+        compounds over thousands of sends into measurable undershoot."""
+        for rate, size in [(1_000_000, 84), (40 * GBPS, 1584),
+                           (99_999_999, 123)]:
+            tb = TokenBucket(rate_bps=rate, bucket_bytes=size)
+            tb.consume(0, size)  # start empty
+            t = 0
+            n_packets = 5000
+            for _ in range(n_packets):
+                t = tb.eligible_at(t, size)
+                tb.consume(t, size)
+            ideal_ns = n_packets * size * 8 * SECONDS / rate
+            # Within one ns per packet of the fluid-model finish time.
+            assert 0 <= t - ideal_ns < n_packets + 2

@@ -91,7 +91,8 @@ class TestProfileHarness:
         assert set(doc["results"]) == {"event_dispatch", "packet_forwarding",
                                        "dwrr_egress", "packet_pool",
                                        "sweep_throughput",
-                                       "telemetry_overhead"}
+                                       "telemetry_overhead",
+                                       "audit_overhead"}
         for metrics in doc["results"].values():
             rate = next(v for k, v in metrics.items()
                         if k.endswith("_per_sec"))
@@ -112,7 +113,8 @@ class TestProfileHarness:
         tool = _load_profile_tool()
         assert set(tool.RECORD_NAMES.values()) == {
             "event_dispatch", "packet_forwarding", "dwrr_egress",
-            "packet_pool", "sweep_throughput", "telemetry_overhead"}
+            "packet_pool", "sweep_throughput", "telemetry_overhead",
+            "audit_overhead"}
 
 
 class TestBenchCli:

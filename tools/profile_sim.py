@@ -131,6 +131,42 @@ def scenario_telemetry(n_packets: int) -> dict:
             "n_series": len(series), "ticks": sampler.ticks}
 
 
+def scenario_audit(n_packets: int) -> dict:
+    """Forwarding with the invariant auditor fully enabled.
+
+    Same dumbbell workload as ``scenario_forwarding``, plus digest taps on
+    every link, periodic checkpoints at 100 µs, and the full horizon audit
+    — the audit-ON side of the overhead gate in
+    ``benchmarks/test_bench_simulator_perf.py`` (the gate itself holds the
+    *disabled* path to <2%; this scenario tracks the enabled cost).
+    """
+    from repro.audit import AuditConfig, InvariantAuditor
+    from repro.sim.units import MILLIS
+
+    sim = Simulator()
+    db = build_dumbbell(sim, _single_queue_factory, DumbbellSpec(n_pairs=1))
+    rec = _Recorder()
+    db.receivers[0].register_receiver(1, rec)
+    src, dst = db.senders[0], db.receivers[0]
+    horizon = ((n_packets * 1600) // MILLIS + 2) * MILLIS
+    auditor = InvariantAuditor(
+        sim, db.topo,
+        config=AuditConfig(digest=True, checkpoint_interval_ns=100_000))
+    auditor.install(horizon)
+    for _ in range(n_packets):
+        src.send(Packet(PacketKind.DATA, 1, src.id, dst.id, 1584,
+                        dscp=Dscp.LEGACY))
+    t0 = time.perf_counter()
+    sim.run()
+    report = auditor.finalize()
+    elapsed = time.perf_counter() - t0
+    assert rec.count == n_packets
+    assert report.ok, report.violations
+    return {"n_packets": n_packets, "elapsed_s": elapsed,
+            "packets_per_sec": n_packets / elapsed,
+            "checks": report.checks, "digest_events": report.digest.total}
+
+
 def scenario_dwrr(n_packets: int) -> dict:
     """Egress scheduler: drain ``n_packets`` through a 3-queue port config
     (strict-priority credit queue + two DWRR data queues, one small-weight)."""
@@ -222,6 +258,7 @@ SCENARIOS = {
     "dispatch": (scenario_dispatch, "events"),
     "forwarding": (scenario_forwarding, "packets"),
     "telemetry": (scenario_telemetry, "packets"),
+    "audit": (scenario_audit, "packets"),
     "dwrr": (scenario_dwrr, "packets"),
     "pool": (scenario_pool, "packets"),
     "sweep": (scenario_sweep, "configs"),
@@ -233,6 +270,7 @@ RECORD_NAMES = {
     "dispatch": "event_dispatch",
     "forwarding": "packet_forwarding",
     "telemetry": "telemetry_overhead",
+    "audit": "audit_overhead",
     "dwrr": "dwrr_egress",
     "pool": "packet_pool",
     "sweep": "sweep_throughput",
@@ -240,9 +278,11 @@ RECORD_NAMES = {
 }
 
 QUICK_SIZES = {"dispatch": 20_000, "forwarding": 2_000, "telemetry": 2_000,
-               "dwrr": 6_000, "pool": 20_000, "sweep": 4, "experiment": 1}
+               "audit": 2_000, "dwrr": 6_000, "pool": 20_000, "sweep": 4,
+               "experiment": 1}
 FULL_SIZES = {"dispatch": 200_000, "forwarding": 20_000, "telemetry": 20_000,
-              "dwrr": 60_000, "pool": 200_000, "sweep": 16, "experiment": 1}
+              "audit": 20_000, "dwrr": 60_000, "pool": 200_000, "sweep": 16,
+              "experiment": 1}
 
 
 def run_scenario(name: str, size: int, profile: bool, top: int,

@@ -21,6 +21,7 @@ from typing import Dict, List, Tuple
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.audit import AuditConfig  # noqa: E402
 from repro.experiments.config import ExperimentConfig, SchemeName  # noqa: E402
 from repro.experiments.parallel import FailedResult, run_many  # noqa: E402
 from repro.experiments.sweep import default_sweep_config  # noqa: E402
@@ -92,6 +93,9 @@ def main() -> int:
     parser.add_argument("--telemetry", action="store_true",
                         help="sample time-series per experiment and write "
                              "telemetry_<id>.csv/.json beside the FCT files")
+    parser.add_argument("--audit", action="store_true",
+                        help="check conservation invariants during every "
+                             "experiment; violations fail the run")
     args = parser.parse_args()
 
     overrides = dict(load=args.load, sim_time_ns=args.ms * MILLIS,
@@ -100,6 +104,8 @@ def main() -> int:
         overrides.update(clos=ClosSpec.paper_scale(), size_scale=1.0)
     if args.telemetry:
         overrides["telemetry"] = TelemetryConfig()
+    if args.audit:
+        overrides["audit"] = AuditConfig()
     base = default_sweep_config(**overrides)
 
     grid = build_grid(base)
@@ -114,6 +120,7 @@ def main() -> int:
                        retry_failed=True, cache=args.cache)
 
     index_rows = []
+    audit_failures: List[str] = []
     for (eid, cfg), res in zip(grid, results):
         if isinstance(res, FailedResult):
             # One broken experiment must not lose the other results.
@@ -142,6 +149,10 @@ def main() -> int:
                            f"{res.wall_seconds:.1f}"])
         print(f"  {eid}: {res.completed}/{len(res.records)} flows, "
               f"{res.wall_seconds:.1f}s")
+        if res.audit is not None and not res.audit.ok:
+            audit_failures.append(eid)
+            for v in res.audit.violations:
+                print(f"    AUDIT: {v}")
 
     with open(os.path.join(args.out, "index.csv"), "w", newline="") as f:
         w = csv.writer(f)
@@ -150,6 +161,10 @@ def main() -> int:
                     "wall_s"])
         w.writerows(index_rows)
     print(f"wrote {len(grid)} result files + index.csv to {args.out}/")
+    if audit_failures:
+        print(f"AUDIT FAILED for {len(audit_failures)} experiment(s): "
+              + ", ".join(audit_failures))
+        return 1
     return 0
 
 
