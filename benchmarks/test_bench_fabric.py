@@ -1,0 +1,80 @@
+"""Durable sweep fabric overhead (not a paper figure).
+
+The fabric adds journalling (fsynced verdict lines), per-cell leases and
+heartbeats, and a shared result store on top of the plain ``run_many``
+pool. That robustness must stay cheap: this bench runs the same tiny
+Clos grid through both paths and records the wall-clock ratio, plus the
+resume cost (a second ``run()`` over a complete journal, which should be
+pure store reads — no simulation).
+
+Headline metrics merge into ``BENCH_engine.json`` like the other engine
+benches (``fabric_overhead``: ``overhead_ratio``,
+``resume_per_cell_s``). The assertion is a loose guard against the
+fabric becoming accidentally serial or the journal becoming a hot-path
+fsync storm — not a tight perf gate, since the grid is tiny and the cell
+wall time dominates.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, SchemeName
+from repro.experiments.fabric import FabricConfig, SweepFabric
+from repro.experiments.parallel import FailedResult, run_many
+from repro.metrics.bench import record_bench
+
+N_CELLS = 8
+
+
+def _grid():
+    return [
+        ExperimentConfig(scheme=SchemeName.DCTCP, sim_time_ns=1_000_000,
+                         load=0.3, seed=seed)
+        for seed in range(1, N_CELLS + 1)
+    ]
+
+
+@pytest.mark.slow
+def test_bench_fabric_overhead(benchmark, tmp_path):
+    def run():
+        # Plain pool path: the baseline every figure sweep uses.
+        t0 = time.perf_counter()
+        plain = run_many(_grid())
+        plain_s = time.perf_counter() - t0
+        assert not any(isinstance(r, FailedResult) for r in plain)
+
+        # Fabric path: journal + leases + SQLite store, cold.
+        fabric = SweepFabric(tmp_path / "journal",
+                             store=f"sqlite:{tmp_path}/results.db",
+                             config=FabricConfig(heartbeat_s=1.0))
+        t0 = time.perf_counter()
+        durable = fabric.run(_grid())
+        fabric_s = time.perf_counter() - t0
+        assert fabric.last_report.status == "complete"
+        assert fabric.last_report.executed == N_CELLS
+
+        # Resume over a complete journal: store reads only.
+        resumed = SweepFabric(tmp_path / "journal")
+        t0 = time.perf_counter()
+        resumed.run()
+        resume_s = time.perf_counter() - t0
+        assert resumed.last_report.executed == 0
+
+        ratio = fabric_s / plain_s
+        record_bench("fabric_overhead", {
+            "n_cells": N_CELLS,
+            "plain_s": plain_s,
+            "fabric_s": fabric_s,
+            "overhead_ratio": ratio,
+            "resume_s": resume_s,
+            "resume_per_cell_s": resume_s / N_CELLS,
+        })
+        for a, b in zip(plain, durable):
+            assert a.records == b.records
+        return ratio
+
+    ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Durability should cost a bounded constant factor on even a tiny
+    # grid (where per-cell wall time least amortizes the fixed costs).
+    assert ratio < 3.0, f"fabric overhead ratio {ratio:.2f} too high"

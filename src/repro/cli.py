@@ -5,6 +5,9 @@ Examples::
     python -m repro.cli list
     python -m repro.cli figure fig09
     python -m repro.cli sweep --schemes naive flexpass --deployments 0 0.5 1
+    python -m repro.cli sweep start --journal sweeps/demo --store sqlite:results.db
+    python -m repro.cli sweep resume --journal sweeps/demo   # after kill -9
+    python -m repro.cli sweep status --journal sweeps/demo
     python -m repro.cli run --scheme flexpass --deployment 1.0 --load 0.6
 
 The CLI is a thin wrapper over :mod:`repro.experiments.figures` and
@@ -229,12 +232,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("name", choices=sorted(FIGURES))
     _add_config_args(p_fig)
 
-    p_sweep = sub.add_parser("sweep", help="deployment sweep")
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="deployment sweep: inline, or durable via start/resume/status")
+    p_sweep.add_argument(
+        "action", nargs="?", choices=("start", "resume", "status"),
+        default=None,
+        help="omit for an inline in-process sweep; 'start' shards the grid "
+             "through the durable fabric (journal + result store, "
+             "kill-safe), 'resume' continues a killed or partial sweep, "
+             "'status' inspects the journal without running anything")
     p_sweep.add_argument("--schemes", nargs="+",
                          default=["naive", "owf", "ly", "flexpass"])
     p_sweep.add_argument("--deployments", type=float, nargs="+",
                          default=[0.0, 0.25, 0.5, 0.75, 1.0])
     _add_config_args(p_sweep)
+    _add_fabric_args(p_sweep)
 
     p_run = sub.add_parser("run", help="single experiment")
     p_run.add_argument("--scheme", default="flexpass",
@@ -262,6 +275,147 @@ def build_parser() -> argparse.ArgumentParser:
         help="determinism cell: run the first scheme x topo twice (through "
              "worker pickling and a cache round-trip) and compare digests")
     return parser
+
+
+def _add_fabric_args(parser: argparse.ArgumentParser) -> None:
+    g = parser.add_argument_group(
+        "durable sweep fabric (start/resume/status)")
+    g.add_argument("--journal", metavar="DIR", default=None,
+                   help="journal directory: the durable work queue and the "
+                        "unit of resume (required for start/resume/status)")
+    g.add_argument("--store", metavar="SPEC", default=None,
+                   help="result store: a directory, or sqlite:PATH / *.db "
+                        "for the concurrent-writer SQLite backend "
+                        "(default: <journal>/store)")
+    g.add_argument("--loads", type=float, nargs="+", default=None,
+                   help="grid loads (default: the single --load)")
+    g.add_argument("--seeds", type=int, nargs="+", default=None,
+                   help="grid seeds (default: the single --seed)")
+    g.add_argument("--processes", type=int, default=None)
+    g.add_argument("--max-retries", type=int, default=2,
+                   help="extra attempts per failing cell before it is "
+                        "reported as failed (sweep still completes)")
+    g.add_argument("--retry-base-s", type=float, default=1.0,
+                   help="backoff base: retry N waits base*2^(N-1) + jitter")
+    g.add_argument("--lease-s", type=float, default=300.0,
+                   help="per-cell wall-clock lease; an expired lease "
+                        "re-queues the cell")
+    g.add_argument("--heartbeat-s", type=float, default=5.0,
+                   help="worker heartbeat period (renews the lease)")
+
+
+def _fabric_from_args(args):
+    from repro.experiments.fabric import FabricConfig, SweepFabric
+
+    if not args.journal:
+        raise SystemExit(f"repro sweep {args.action}: --journal DIR is "
+                         f"required")
+    return SweepFabric(
+        args.journal,
+        store=args.store,
+        config=FabricConfig(
+            processes=args.processes,
+            max_retries=args.max_retries,
+            retry_base_s=args.retry_base_s,
+            retry_seed=args.seed,
+            lease_s=args.lease_s,
+            heartbeat_s=args.heartbeat_s,
+        ),
+    )
+
+
+def _fabric_grid(args) -> List:
+    """The durable-sweep grid: seeds x loads x schemes x deployments.
+
+    Mirrors :func:`repro.experiments.sweep.deployment_sweep`: the
+    0%-deployment point degenerates to pure DCTCP for every scheme, so it
+    is emitted as the *same* DCTCP config — the fabric's content-hash
+    dedup then simulates it once per (seed, load) and serves the rest
+    from the store.
+    """
+    base = _base_config(args)
+    schemes = [SchemeName(s) for s in args.schemes]
+    loads = args.loads if args.loads else [args.load]
+    seeds = args.seeds if args.seeds else [args.seed]
+    configs = []
+    for seed in seeds:
+        for load in loads:
+            for scheme in schemes:
+                for dep in args.deployments:
+                    if dep == 0.0:
+                        cfg = base.with_(scheme=SchemeName.DCTCP,
+                                         deployment=0.0, load=load,
+                                         seed=seed)
+                    else:
+                        cfg = base.with_(scheme=scheme, deployment=dep,
+                                         load=load, seed=seed)
+                    configs.append(cfg)
+    return configs
+
+
+def _print_fabric_results(results, report) -> None:
+    from repro.experiments.parallel import FailedResult
+    from repro.experiments.sweep import SweepCell
+
+    rows = []
+    for res in results:
+        cfg = res.config
+        if isinstance(res, FailedResult):
+            rows.append((cfg.scheme.value, f"{cfg.deployment:.0%}",
+                         cfg.load, cfg.seed, "FAILED", "-",
+                         f"{res.error[:40]} (x{res.attempts})"))
+        else:
+            cell = SweepCell.from_result(res)
+            rows.append((cfg.scheme.value, f"{cfg.deployment:.0%}",
+                         cfg.load, cfg.seed, cell.p99_small_ms,
+                         cell.avg_all_ms, cell.censored))
+    print_table(
+        f"Durable sweep {report.sweep_id} [{report.status}]",
+        ("scheme", "deployed", "load", "seed", "p99 small (ms)",
+         "avg (ms)", "censored / error"),
+        rows)
+    print(f"\ncells: {report.completed}/{report.total} completed, "
+          f"{report.executed} simulated, {report.store_hits} store hits, "
+          f"{report.retries} retries, {report.expired_leases} expired "
+          f"leases, {report.wall_seconds:.1f}s wall")
+    print(f"store: {report.store}")
+
+
+def _run_sweep_fabric(args) -> int:
+    from repro.experiments.fabric import JournalError, sweep_status
+
+    if args.action == "status":
+        if not args.journal:
+            raise SystemExit("repro sweep status: --journal DIR is required")
+        try:
+            status = sweep_status(args.journal, lease_s=args.lease_s)
+        except JournalError as exc:
+            raise SystemExit(f"repro sweep status: {exc}")
+        print_table(
+            f"Sweep {status['sweep_id']} @ {args.journal}",
+            ("field", "value"),
+            [("store", status["store"]),
+             ("salt", status["salt"]),
+             ("cells", status["cells"]),
+             ("executions", status["executions"])]
+            + sorted(status["by_status"].items()))
+        for cell in status["exhausted"]:
+            print(f"  exhausted cell {cell['index']} "
+                  f"(x{cell['attempts']}): {cell['error']}")
+        return 0
+
+    fabric = _fabric_from_args(args)
+    try:
+        if args.action == "start":
+            results = fabric.run(_fabric_grid(args))
+        else:  # resume: grid comes from the journal snapshot
+            results = fabric.run()
+    except JournalError as exc:
+        raise SystemExit(f"repro sweep {args.action}: {exc}")
+    report = fabric.last_report
+    _print_fabric_results(results, report)
+    print(f"completion report: {fabric.journal.report_path}")
+    return 0 if report.status == "complete" else 1
 
 
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
@@ -320,6 +474,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         FIGURES[args.name](_base_config(args))
         return 0
     if args.command == "sweep":
+        if args.action is not None:
+            return _run_sweep_fabric(args)
         base = _base_config(args)
         schemes = tuple(SchemeName(s) for s in args.schemes)
         grid = deployment_sweep(base, schemes, tuple(args.deployments))

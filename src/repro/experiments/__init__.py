@@ -5,9 +5,12 @@ an :class:`ExperimentConfig` (with an optional :class:`TelemetryConfig`),
 run it with :func:`run_experiment` or fan out with :func:`run_many`, and
 read the :class:`ExperimentResult` (including its packed
 :class:`TelemetrySeries`). Scheme wiring for custom topologies goes through
-:func:`make_scheme_setup`. Anything imported from the submodules directly
-(``repro.experiments.runner`` etc.) is internal and may move without
-notice; see README for the documented surface.
+:func:`make_scheme_setup`. Durable, kill-resumable sweeps go through
+:class:`SweepFabric` (or ``run_many(coordinator=...)``) against a
+:class:`ResultStore` backend opened with :func:`open_store`. Anything
+imported from the submodules directly (``repro.experiments.runner`` etc.)
+is internal and may move without notice; see README for the documented
+surface.
 """
 
 import importlib
@@ -17,9 +20,16 @@ from repro.experiments.config import (
     QueueSettings,
     SchemeName,
 )
+from repro.experiments.fabric import (
+    CompletionReport,
+    FabricConfig,
+    SweepFabric,
+    sweep_status,
+)
 from repro.experiments.parallel import FailedResult, run_many
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.scenarios import SchemeSetup, make_scheme_setup
+from repro.experiments.store import ResultStore, SqliteStore, open_store
 from repro.metrics.telemetry import TelemetryConfig, TelemetrySeries
 
 __all__ = [
@@ -34,11 +44,18 @@ __all__ = [
     "run_many",
     "SchemeSetup",
     "make_scheme_setup",
+    "CompletionReport",
+    "FabricConfig",
+    "SweepFabric",
+    "sweep_status",
+    "ResultStore",
+    "SqliteStore",
+    "open_store",
 ]
 
 #: submodules reachable lazily as attributes (``repro.experiments.figures``)
-_SUBMODULES = ("cache", "config", "figures", "parallel", "runner",
-               "scenarios", "sweep")
+_SUBMODULES = ("cache", "config", "fabric", "figures", "parallel", "runner",
+               "scenarios", "store", "sweep")
 
 
 def __getattr__(name):

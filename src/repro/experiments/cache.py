@@ -25,6 +25,13 @@ Keying rules (also documented in DESIGN.md §6d):
 Storage is one pickle per key under ``root/<key[:2]>/<key>.pkl``, written
 atomically (temp file + rename) so a crashed sweep cannot leave a torn
 entry behind.
+
+Since ISSUE 6 the cache is one backend of the
+:class:`repro.experiments.store.ResultStore` interface (the other is a
+concurrent-writer-safe SQLite file); keying and payload format live here
+and in :mod:`repro.experiments.store` respectively, and a failed write —
+full disk, read-only mount — is counted and logged instead of silently
+losing the entry or killing the sweep.
 """
 
 from __future__ import annotations
@@ -33,13 +40,11 @@ import dataclasses
 import enum
 import hashlib
 import os
-import pickle
 import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.experiments.runner import ExperimentResult
-from repro.metrics.fct import PackedFlowRecords
+from repro.experiments.store import ResultStore
 
 #: Bump whenever simulation semantics change, so stale results cannot leak
 #: across PRs. ``REPRO_CACHE_SALT`` overrides (emergency invalidation).
@@ -84,63 +89,42 @@ def config_key(config, salt: Optional[str] = None) -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
-class ExperimentCache:
-    """Directory-backed result cache, keyed by config content hash."""
+class ExperimentCache(ResultStore):
+    """Directory-backed result cache, keyed by config content hash.
+
+    Concurrent writers (multiple worker processes, or hosts sharing the
+    directory over NFS) are safe: every write is temp-file + atomic
+    rename, and duplicate writers of one key carry byte-identical
+    payloads by construction.
+    """
 
     def __init__(self, root: Union[str, Path], salt: Optional[str] = None):
+        super().__init__(salt)
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.salt = salt
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
-        self.skipped = 0  # puts refused (failed/aborted results)
+        self.spec = str(self.root)
 
     # ------------------------------------------------------------- lookup
 
-    def key(self, config) -> str:
-        return config_key(config, self.salt)
-
     def path(self, config) -> Path:
-        key = self.key(config)
+        return self._key_path(self.key(config))
+
+    def _key_path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
-    def get(self, config) -> Optional[ExperimentResult]:
-        """Return the cached result for ``config``, or None on a miss."""
-        path = self.path(config)
+    def _read(self, key: str) -> Optional[bytes]:
         try:
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
-        except FileNotFoundError:
-            self.misses += 1
+            return self._key_path(key).read_bytes()
+        except OSError:
             return None
-        except (pickle.UnpicklingError, ValueError, EOFError, AttributeError):
-            # A torn or stale-schema entry reads as a miss; the fresh run
-            # will overwrite it.
-            self.misses += 1
-            return None
-        self.hits += 1
-        stripped, packed = payload
-        return dataclasses.replace(stripped, records=packed.unpack())
 
-    def put(self, config, result) -> bool:
-        """Store a result. Returns False (and stores nothing) for failures.
-
-        Failed and aborted results must never be served from cache — they
-        are exactly the runs a retry might fix.
-        """
-        if not isinstance(result, ExperimentResult) or result.aborted:
-            self.skipped += 1
-            return False
-        packed = PackedFlowRecords.pack(result.records)
-        stripped = dataclasses.replace(result, records=[])
-        path = self.path(config)
+    def _write(self, key: str, payload: bytes) -> None:
+        path = self._key_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump((stripped, packed), fh,
-                            protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(payload)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -148,19 +132,6 @@ class ExperimentCache:
             except OSError:
                 pass
             raise
-        self.stores += 1
-        return True
 
-    # ------------------------------------------------------------ stats
-
-    def stats(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "skipped": self.skipped,
-        }
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<ExperimentCache {self.root} hits={self.hits} "
-                f"misses={self.misses} stores={self.stores}>")
+    def describe(self) -> str:
+        return str(self.root)

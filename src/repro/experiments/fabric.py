@@ -1,0 +1,865 @@
+"""Durable sweep fabric: persistent work queue, leases, crash-resume.
+
+``run_many`` streams a config grid through a process pool — fast, but a
+killed host, a wedged worker, or a full disk loses the whole run. The
+fabric (DESIGN.md §6g) makes thousand-cell sweeps — the paper's Figs
+10–11 deployment grids and every load × locality × burstiness crossover
+study beyond them — survivable:
+
+* **Persistent work queue.** Cell states (``pending → leased →
+  done/failed``) live in an append-only JSONL journal beside a pickled
+  copy of the grid. Every transition is one ``O_APPEND`` line (atomic on
+  POSIX for our line sizes); verdict lines (``done``/``fail``) are
+  fsynced. Replaying the journal reconstructs the queue exactly, so
+  ``kill -9`` at any instant costs at most the cells that were in
+  flight.
+* **Leases + heartbeats.** A dispatched cell carries a wall-clock lease;
+  the worker heartbeats while simulating. A dead or stalled worker's
+  lease expires and the coordinator re-queues the cell (consuming one
+  attempt, so a config that wedges every worker still terminates).
+* **Bounded retries.** Failures re-queue with seeded exponential backoff
+  + jitter (:func:`repro.experiments.parallel.retry_delay_s`) up to
+  ``max_retries`` extra attempts, then the cell is *exhausted*: the
+  sweep still completes, returning a :class:`FailedResult` in that slot
+  and listing the cell in the machine-readable
+  :class:`CompletionReport`.
+* **Backend-abstracted results.** Workers write results straight into a
+  :class:`repro.experiments.store.ResultStore` (local directory or
+  WAL-mode SQLite) and check it before simulating — so a resumed sweep
+  recomputes zero stored cells, duplicate configs in one grid (every
+  scheme's 0 %-deployment point hashes identically) simulate once, and
+  multiple hosts sharing a store dedup across the fleet.
+
+The journal directory is the unit of resume::
+
+    fabric = SweepFabric("sweeps/fig10", store="sqlite:results.db")
+    results = fabric.run(configs)          # or run_many(configs, coordinator=fabric)
+    # ... kill -9 anywhere above, then later:
+    results = SweepFabric("sweeps/fig10").run()   # picks up where it died
+
+``repro sweep start/resume/status`` and ``tools/run_simulations.py
+--store/--resume`` wrap exactly this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    DEFAULT_MAX_TASKS_PER_CHILD,
+    FailedResult,
+    _worker,
+    retry_delay_s,
+)
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.store import (
+    ResultStore,
+    StoreSpec,
+    decode_result,
+    encode_result,
+    open_store,
+)
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+JOURNAL_NAME = "journal.jsonl"
+GRID_NAME = "grid.pkl"
+REPORT_NAME = "report.json"
+
+#: Tracebacks are truncated to this many characters in ``fail`` journal
+#: lines, keeping every line comfortably under the POSIX atomic-append
+#: size so concurrent writers cannot interleave mid-line.
+MAX_JOURNAL_TB = 2000
+
+# Cell states after journal replay.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+EXHAUSTED = "exhausted"
+
+
+class JournalError(RuntimeError):
+    """The journal is missing, unreadable, or does not match the grid."""
+
+
+def append_line(path: Union[str, Path], obj: dict, sync: bool = False) -> None:
+    """Append one JSON line with a single ``O_APPEND`` write.
+
+    Safe for concurrent writers (coordinator + every worker heartbeat
+    thread): each line is one ``write(2)`` call well under the atomic
+    append size. ``sync`` fsyncs — used for verdict lines whose loss
+    would cost a re-execution.
+    """
+    data = (json.dumps(obj, separators=(",", ":")) + "\n").encode()
+    fd = os.open(os.fspath(path), os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                 0o644)
+    try:
+        os.write(fd, data)
+        if sync:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@dataclass
+class FabricConfig:
+    """Execution policy for a durable sweep (picklable, journal-free)."""
+
+    #: worker processes (None = one per CPU, capped by pending cells)
+    processes: Optional[int] = None
+    #: extra attempts after the first failure before a cell is exhausted
+    max_retries: int = 2
+    #: backoff base for retry N: ``base * 2**(N-1)`` + seeded jitter
+    retry_base_s: float = 0.0
+    #: seed for the backoff jitter (kept distinct from sim seeds)
+    retry_seed: int = 0
+    #: wall-clock lease per execution; expiry re-queues the cell
+    lease_s: float = 300.0
+    #: worker heartbeat period; each heartbeat renews the lease
+    heartbeat_s: float = 5.0
+    #: recycle pool workers after this many cells (leak containment)
+    max_tasks_per_child: Optional[int] = DEFAULT_MAX_TASKS_PER_CHILD
+    #: coordinator poll period while cells are in flight
+    poll_s: float = 0.05
+
+
+@dataclass
+class CellState:
+    """One cell's reconstructed state after journal replay."""
+
+    index: int
+    status: str = PENDING
+    attempts: int = 0       # verdict-producing executions consumed
+    executions: int = 0     # times a worker actually started simulating
+    deadline: float = 0.0   # wall-clock lease expiry while LEASED
+    cached: bool = False    # last completion came from the store
+    error: str = ""
+    traceback: str = ""
+    worker_pid: int = 0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class CompletionReport:
+    """Machine-readable outcome of one coordinator invocation."""
+
+    sweep_id: str
+    status: str                    # "complete" | "partial"
+    total: int
+    completed: int
+    failed: List[dict]             # index, key, error, attempts, pid, wall_s
+    executed: int                  # simulations actually run this invocation
+    store_hits: int                # cells served from the result store
+    retries: int
+    expired_leases: int
+    wall_seconds: float
+    store: str
+    store_stats: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def write(self, path: Union[str, Path]) -> None:
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+
+# --------------------------------------------------------------- journal
+
+
+class SweepJournal:
+    """The durable work queue: a grid snapshot + an append-only log.
+
+    Layout under ``self.dir``::
+
+        grid.pkl       pickled (version, salt, store spec, keys, configs)
+        journal.jsonl  one JSON line per state transition
+        report.json    CompletionReport of the latest invocation
+    """
+
+    GRID_VERSION = 1
+
+    def __init__(self, directory: Union[str, Path]):
+        self.dir = Path(directory)
+        self.journal_path = self.dir / JOURNAL_NAME
+        self.grid_path = self.dir / GRID_NAME
+        self.report_path = self.dir / REPORT_NAME
+
+    def exists(self) -> bool:
+        return self.journal_path.exists() and self.grid_path.exists()
+
+    # ------------------------------------------------------------ create
+
+    def create(self, configs: Sequence[ExperimentConfig], store_spec: str,
+               salt: Optional[str] = None) -> str:
+        """Snapshot the grid and open the journal; returns the sweep id.
+
+        The salt is resolved *now* (explicit > ``REPRO_CACHE_SALT`` >
+        default) and pinned in the snapshot: a resume keys into the same
+        store entries even if the surrounding code bumps the default
+        salt mid-campaign.
+        """
+        import pickle
+
+        from repro.experiments.cache import (
+            DEFAULT_CODE_SALT,
+            config_key,
+        )
+
+        if self.exists():
+            raise JournalError(f"journal already exists at {self.dir}; "
+                               f"resume it or choose a fresh directory")
+        if not configs:
+            raise JournalError("cannot create a sweep with zero cells")
+        salt = salt or os.environ.get("REPRO_CACHE_SALT", DEFAULT_CODE_SALT)
+        keys = [config_key(cfg, salt) for cfg in configs]
+        sweep_id = hashlib.sha256(
+            ("\n".join(keys) + store_spec).encode()).hexdigest()[:12]
+        self.dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": self.GRID_VERSION,
+            "sweep_id": sweep_id,
+            "salt": salt,
+            "store": store_spec,
+            "keys": keys,
+            "configs": list(configs),
+        }
+        tmp = self.grid_path.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.grid_path)
+        self.append({"op": "init", "sweep": sweep_id, "cells": len(configs),
+                     "store": store_spec, "salt": salt, "t": time.time()},
+                    sync=True)
+        return sweep_id
+
+    # -------------------------------------------------------------- load
+
+    def load_grid(self) -> dict:
+        import pickle
+
+        if not self.exists():
+            raise JournalError(f"no sweep journal at {self.dir} "
+                               f"(expected {GRID_NAME} + {JOURNAL_NAME})")
+        with open(self.grid_path, "rb") as fh:
+            grid = pickle.load(fh)
+        if grid.get("version") != self.GRID_VERSION:
+            raise JournalError(
+                f"grid snapshot version {grid.get('version')!r} != "
+                f"{self.GRID_VERSION}; this journal was written by an "
+                f"incompatible fabric")
+        return grid
+
+    def verify_grid(self, grid: dict) -> None:
+        """Re-key the snapshot's configs and compare: catches config
+        canonicalization drift that would silently mis-key the store."""
+        from repro.experiments.cache import config_key
+
+        keys = [config_key(cfg, grid["salt"]) for cfg in grid["configs"]]
+        if keys != grid["keys"]:
+            raise JournalError(
+                "config keys no longer match the grid snapshot — the "
+                "config schema or canonicalization changed since this "
+                "sweep started; start a fresh sweep (results in the store "
+                "remain valid under their original keys)")
+
+    def append(self, obj: dict, sync: bool = False) -> None:
+        append_line(self.journal_path, obj, sync=sync)
+
+    def replay(self, n_cells: int, lease_s: float) -> List[CellState]:
+        """Fold the journal into per-cell states.
+
+        Torn tail lines (a crash mid-append) are skipped; unknown ops are
+        ignored so newer fabrics can extend the format.
+        """
+        cells = [CellState(i) for i in range(n_cells)]
+        try:
+            raw = self.journal_path.read_bytes()
+        except FileNotFoundError:
+            raise JournalError(f"no journal at {self.journal_path}")
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                op = json.loads(line)
+            except ValueError:
+                continue  # torn tail line from a crash mid-append
+            kind = op.get("op")
+            idx = op.get("cell")
+            if idx is None or not (0 <= idx < n_cells):
+                continue
+            cell = cells[idx]
+            if kind == "lease":
+                cell.status = LEASED
+                cell.deadline = op.get("deadline",
+                                       op.get("t", 0.0) + lease_s)
+            elif kind == "hb":
+                if cell.status == LEASED:
+                    cell.deadline = op.get("t", 0.0) + lease_s
+            elif kind == "run":
+                cell.executions += 1
+                cell.worker_pid = op.get("pid", 0)
+            elif kind == "done":
+                cell.status = DONE
+                cell.cached = bool(op.get("cached"))
+                cell.wall_seconds = op.get("wall_s", 0.0)
+            elif kind == "fail":
+                cell.status = PENDING
+                cell.attempts = max(cell.attempts, op.get("attempt", 1))
+                cell.error = op.get("error", "")
+                cell.traceback = op.get("tb", "")
+                cell.worker_pid = op.get("pid", 0)
+                cell.wall_seconds = op.get("wall_s", 0.0)
+            elif kind == "expire":
+                cell.status = PENDING
+                cell.attempts = max(cell.attempts, op.get("attempt", 1))
+                cell.error = cell.error or "lease expired (worker dead or stalled)"
+            elif kind == "requeue":
+                cell.status = PENDING
+            elif kind == "exhausted":
+                cell.status = EXHAUSTED
+                cell.attempts = max(cell.attempts, op.get("attempts", 1))
+        return cells
+
+
+# ---------------------------------------------------------------- worker
+
+
+def _heartbeat_loop(journal_path: str, index: int, pid: int,
+                    period_s: float, stop: threading.Event) -> None:
+    while not stop.wait(period_s):
+        try:
+            append_line(journal_path, {"op": "hb", "cell": index, "pid": pid,
+                                       "t": time.time()})
+        except OSError:  # heartbeat loss is safe: worst case a re-queue
+            pass
+
+
+def _fabric_cell(item: Tuple) -> Tuple[int, str, object]:
+    """Pool task: execute one cell against the shared store + journal.
+
+    Returns ``(index, verdict, payload)`` where verdict is ``"done"``
+    (payload None — the parent reads the store), ``"inline"`` (payload is
+    the encoded result: the store refused or failed the write, so the
+    bytes ride back over the pipe instead of being lost), or ``"failed"``
+    (payload is the stamped :class:`FailedResult`).
+    """
+    index, cfg, store_spec, salt, journal_path, heartbeat_s, attempt = item
+    pid = os.getpid()
+    start = time.monotonic()
+    store = open_store(store_spec, salt=salt)
+    try:
+        hit = store.get(cfg)
+        if hit is not None:
+            append_line(journal_path,
+                        {"op": "done", "cell": index, "pid": pid,
+                         "cached": True, "t": time.time()}, sync=True)
+            return index, "done", None
+        append_line(journal_path,
+                    {"op": "run", "cell": index, "pid": pid,
+                     "attempt": attempt, "t": time.time()})
+        stop = threading.Event()
+        hb = threading.Thread(
+            target=_heartbeat_loop,
+            args=(journal_path, index, pid, heartbeat_s, stop), daemon=True)
+        hb.start()
+        try:
+            result = _worker(cfg)
+        finally:
+            stop.set()
+            hb.join(timeout=heartbeat_s + 1.0)
+        wall = time.monotonic() - start
+        if isinstance(result, FailedResult):
+            result.attempts = attempt
+            result.retried = attempt > 1
+            result.worker_pid = pid
+            result.wall_seconds = wall
+            append_line(journal_path,
+                        {"op": "fail", "cell": index, "pid": pid,
+                         "attempt": attempt, "error": result.error,
+                         "tb": result.traceback[-MAX_JOURNAL_TB:],
+                         "wall_s": wall, "t": time.time()}, sync=True)
+            return index, "failed", result
+        stored = store.put(cfg, result)
+        append_line(journal_path,
+                    {"op": "done", "cell": index, "pid": pid,
+                     "cached": False, "stored": stored, "wall_s": wall,
+                     "t": time.time()}, sync=True)
+        if stored:
+            return index, "done", None
+        # Aborted result or store write failure: the store has nothing,
+        # so the payload must cross the pipe or the work is lost.
+        return index, "inline", encode_result(result)
+    finally:
+        store.close()
+
+
+# ------------------------------------------------------------ coordinator
+
+
+class SweepFabric:
+    """Durable sweep coordinator over a journal directory.
+
+    First ``run(configs)`` creates the journal; any later ``run()`` —
+    same process or a fresh one after ``kill -9`` — resumes it. The
+    return contract matches :func:`repro.experiments.parallel.run_many`:
+    one entry per cell in grid order, :class:`FailedResult` for cells
+    that exhausted their retries. ``last_report`` holds the
+    :class:`CompletionReport` (also written to ``report.json``).
+    """
+
+    def __init__(self, journal_dir: Union[str, Path],
+                 store: Optional[StoreSpec] = None,
+                 config: Optional[FabricConfig] = None,
+                 salt: Optional[str] = None):
+        self.journal = SweepJournal(journal_dir)
+        self.config = config or FabricConfig()
+        self._store_arg = store
+        self._salt_arg = salt
+        self.last_report: Optional[CompletionReport] = None
+
+    # ------------------------------------------------------------- setup
+
+    def _open(self, configs: Optional[Sequence[ExperimentConfig]]):
+        """Create or resume the journal; returns (grid, store)."""
+        if self.journal.exists():
+            grid = self.journal.load_grid()
+            self.journal.verify_grid(grid)
+            if configs is not None:
+                from repro.experiments.cache import config_key
+
+                salt = grid["salt"]
+                if [config_key(c, salt) for c in configs] != grid["keys"]:
+                    raise JournalError(
+                        f"the {len(configs)} config(s) passed to run() do "
+                        f"not match the grid recorded at "
+                        f"{self.journal.dir}; resume with run() or start a "
+                        f"fresh journal directory")
+            if isinstance(self._store_arg, ResultStore):
+                override = self._store_arg.spec
+            elif self._store_arg is not None:
+                override = os.fspath(self._store_arg)
+            else:
+                override = None
+            if override is not None and override != grid["store"]:
+                logger.warning(
+                    "resuming sweep %s against store %s (journal recorded "
+                    "%s); cells already in the new store are reused, the "
+                    "rest re-run", grid["sweep_id"], override,
+                    grid["store"])
+                grid = dict(grid, store=override)
+        else:
+            if configs is None:
+                raise JournalError(
+                    f"no sweep to resume at {self.journal.dir}; pass "
+                    f"configs to start one")
+            seed_store = open_store(
+                self._store_arg if self._store_arg is not None
+                else self.journal.dir / "store",
+                salt=self._salt_arg)
+            sweep_id = self.journal.create(configs, seed_store.spec,
+                                           salt=self._salt_arg)
+            seed_store.close()
+            grid = self.journal.load_grid()
+            logger.info("sweep %s created: %d cells -> %s",
+                        sweep_id, len(configs), seed_store.spec)
+        # Always reopen from the journal's spec with its pinned salt —
+        # even when a live ResultStore was passed in — so parent-side
+        # lookups key identically to the workers'.
+        store = open_store(grid["store"], salt=grid["salt"])
+        return grid, store
+
+    # --------------------------------------------------------------- run
+
+    def run(self, configs: Optional[Sequence[ExperimentConfig]] = None,
+            processes: Optional[int] = None,
+            progress: Optional[Callable[[int, int], None]] = None,
+            ) -> List[Union[ExperimentResult, FailedResult]]:
+        t_start = time.monotonic()
+        cfg = self.config
+        grid, store = self._open(configs)
+        cells: List[ExperimentConfig] = grid["configs"]
+        keys: List[str] = grid["keys"]
+        total = len(cells)
+        states = self.journal.replay(total, cfg.lease_s)
+        journal_start = self.journal.journal_path.stat().st_size
+
+        results: List[Optional[Union[ExperimentResult, FailedResult]]] = (
+            [None] * total)
+        executed = 0
+        store_hits = 0
+        retries = 0
+        expired = 0
+
+        # Resume pre-pass: harvest finished cells, re-queue the dead.
+        ready: deque = deque()  # (ready_at_monotonic, index, attempt)
+        now_mono = time.monotonic()
+        for st in states:
+            i = st.index
+            if st.status == DONE:
+                res = store.get(cells[i])
+                if res is not None:
+                    results[i] = res
+                    store_hits += 1
+                    continue
+                # Journal says done but the store lost it — re-queue.
+                self.journal.append({"op": "requeue", "cell": i,
+                                     "attempt": st.attempts + 1,
+                                     "t": time.time()})
+                st.status = PENDING
+            if st.status == EXHAUSTED:
+                results[i] = self._failed_from_state(cells[i], st)
+                continue
+            # PENDING — and LEASED: a lease can only be live if another
+            # coordinator is running this journal, which is unsupported;
+            # after kill -9 every leased cell is dead. The interrupted
+            # attempt produced no verdict, so it is not charged.
+            ready.append((now_mono, i, st.attempts + 1))
+
+        done_count = sum(1 for r in results if r is not None)
+        if progress is not None and done_count:
+            progress(done_count, total)
+        if ready:
+            if processes is None:
+                processes = cfg.processes
+            if processes is None:
+                processes = os.cpu_count() or 1
+            processes = max(1, min(processes, len(ready)))
+            retries, expired = self._execute(
+                ready, cells, keys, grid, store, results, processes,
+                progress, done_count)
+        executed, cached_dones = self._journal_counts(journal_start)
+        store_hits += cached_dones
+
+        failed_cells = [
+            {"index": i, "key": keys[i], "error": r.error,
+             "attempts": r.attempts, "worker_pid": r.worker_pid,
+             "wall_seconds": round(r.wall_seconds, 3)}
+            for i, r in enumerate(results) if isinstance(r, FailedResult)
+        ]
+        report = CompletionReport(
+            sweep_id=grid["sweep_id"],
+            status="partial" if failed_cells else "complete",
+            total=total,
+            completed=total - len(failed_cells),
+            failed=failed_cells,
+            executed=executed,
+            store_hits=store_hits,
+            retries=retries,
+            expired_leases=expired,
+            wall_seconds=round(time.monotonic() - t_start, 3),
+            store=grid["store"],
+            store_stats=store.stats(),
+        )
+        report.write(self.journal.report_path)
+        self.journal.append({"op": "complete", "status": report.status,
+                             "completed": report.completed,
+                             "failed": len(failed_cells),
+                             "t": time.time()}, sync=True)
+        self.last_report = report
+        logger.info("sweep %s %s: %d/%d cells, %d executed, %d store hits, "
+                    "%d retries, %d expired leases",
+                    report.sweep_id, report.status, report.completed, total,
+                    executed, store_hits, retries, expired)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # ----------------------------------------------------- execution loop
+
+    def _execute(self, ready, cells, keys, grid, store, results,
+                 processes, progress, done_count):
+        """Drive pending cells to a verdict; returns ``(retries,
+        expired)`` — execution/hit counts are read back from the journal,
+        which both serial and pooled paths append identically."""
+        cfg = self.config
+        total = len(cells)
+        journal_path = os.fspath(self.journal.journal_path)
+        retries = expired = 0
+        attempts_cap = cfg.max_retries + 1
+
+        def make_item(i, attempt):
+            return (i, cells[i], grid["store"], grid["salt"], journal_path,
+                    cfg.heartbeat_s, attempt)
+
+        def note(i):
+            nonlocal done_count
+            done_count += 1
+            if progress is not None:
+                progress(done_count, total)
+
+        def harvest(i, verdict, payload, attempt):
+            """Fold one worker verdict into results/queue state."""
+            nonlocal retries
+            if verdict == "done":
+                res = store.get(cells[i])
+                if res is None:
+                    # done but unreadable (e.g. torn by a dying disk):
+                    # treat like a lease failure and re-queue.
+                    if self._requeue_or_exhaust(
+                            i, attempt, "store entry unreadable after done",
+                            ready, results, cells, note):
+                        retries += 1
+                    return None
+                results[i] = res
+                note(i)
+            elif verdict == "inline":
+                results[i] = decode_result(payload)
+                note(i)
+            else:  # failed
+                if attempt < attempts_cap:
+                    retries += 1
+                    delay = retry_delay_s(attempt, cfg.retry_base_s,
+                                          cfg.retry_seed, i)
+                    self.journal.append(
+                        {"op": "requeue", "cell": i, "attempt": attempt + 1,
+                         "delay_s": round(delay, 3), "t": time.time()})
+                    ready.append((time.monotonic() + delay, i, attempt + 1))
+                else:
+                    self.journal.append(
+                        {"op": "exhausted", "cell": i, "attempts": attempt,
+                         "t": time.time()}, sync=True)
+                    results[i] = payload
+                    note(i)
+            return None
+
+        if processes <= 1:
+            # Serial path: same journal discipline, no pool. Lease expiry
+            # is moot (nothing can monitor the in-process worker), but the
+            # lease lines keep the journal format identical.
+            while ready:
+                ready_at, i, attempt = min(ready)
+                ready.remove((ready_at, i, attempt))
+                delay = ready_at - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                self.journal.append(
+                    {"op": "lease", "cell": i, "attempt": attempt,
+                     "deadline": time.time() + cfg.lease_s,
+                     "t": time.time()})
+                _, verdict, payload = _fabric_cell(make_item(i, attempt))
+                harvest(i, verdict, payload, attempt)
+            return retries, expired
+
+        outstanding: Dict[int, Tuple] = {}  # i -> (async, deadline, attempt)
+        inflight_keys: Dict[str, int] = {}
+        tail_pos = self.journal.journal_path.stat().st_size
+        pool = multiprocessing.Pool(
+            processes=processes, maxtasksperchild=cfg.max_tasks_per_child)
+        try:
+            while ready or outstanding:
+                now = time.monotonic()
+                # Dispatch every ready cell whose backoff has elapsed and
+                # whose content hash is not already in flight (duplicate
+                # configs — e.g. the shared 0%-deployment point — wait and
+                # then hit the store instead of simulating twice).
+                deferred = deque()
+                while ready:
+                    ready_at, i, attempt = min(ready)
+                    if ready_at > now:
+                        break
+                    ready.remove((ready_at, i, attempt))
+                    leader = inflight_keys.get(keys[i])
+                    if leader is not None and leader != i:
+                        deferred.append((ready_at, i, attempt))
+                        continue
+                    self.journal.append(
+                        {"op": "lease", "cell": i, "attempt": attempt,
+                         "deadline": time.time() + cfg.lease_s,
+                         "t": time.time()})
+                    async_res = pool.apply_async(_fabric_cell,
+                                                 (make_item(i, attempt),))
+                    outstanding[i] = (async_res, time.time() + cfg.lease_s,
+                                      attempt)
+                    inflight_keys[keys[i]] = i
+                ready.extend(deferred)
+
+                # Tail the journal for worker heartbeats: each renews its
+                # cell's lease.
+                tail_pos = self._renew_leases(tail_pos, outstanding,
+                                              cfg.lease_s)
+
+                # Harvest completions.
+                for i in [i for i, (ar, _, _) in outstanding.items()
+                          if ar.ready()]:
+                    ar, _, attempt = outstanding.pop(i)
+                    if inflight_keys.get(keys[i]) == i:
+                        del inflight_keys[keys[i]]
+                    try:
+                        index, verdict, payload = ar.get()
+                    except Exception as exc:  # noqa: BLE001 - pool plumbing
+                        # The task itself never raises; this is pool-level
+                        # breakage (unpicklable payload, dead machinery).
+                        if self._requeue_or_exhaust(
+                                i, attempt, f"pool failure: {exc!r}",
+                                ready, results, cells, note):
+                            retries += 1
+                        continue
+                    harvest(i, verdict, payload, attempt)
+
+                # Expire dead leases.
+                now_wall = time.time()
+                for i in [i for i, (_, dl, _) in outstanding.items()
+                          if dl < now_wall]:
+                    ar, _, attempt = outstanding.pop(i)
+                    if inflight_keys.get(keys[i]) == i:
+                        del inflight_keys[keys[i]]
+                    expired += 1
+                    self.journal.append(
+                        {"op": "expire", "cell": i, "attempt": attempt,
+                         "t": now_wall}, sync=True)
+                    logger.warning(
+                        "lease expired for cell %d (attempt %d) — worker "
+                        "dead or stalled; re-queueing", i, attempt)
+                    if self._requeue_or_exhaust(
+                            i, attempt,
+                            "lease expired (worker dead or stalled)",
+                            ready, results, cells, note):
+                        retries += 1
+
+                if ready or outstanding:
+                    time.sleep(cfg.poll_s)
+        finally:
+            pool.terminate()
+            pool.join()
+        return retries, expired
+
+    # ----------------------------------------------------------- helpers
+
+    def _requeue_or_exhaust(self, i, attempt, error, ready, results, cells,
+                            note=None) -> bool:
+        """Re-queue the cell for another attempt if its budget allows
+        (returns True), else record it exhausted (returns False)."""
+        cfg = self.config
+        if attempt < cfg.max_retries + 1:
+            delay = retry_delay_s(attempt, cfg.retry_base_s, cfg.retry_seed,
+                                  i)
+            self.journal.append(
+                {"op": "requeue", "cell": i, "attempt": attempt + 1,
+                 "delay_s": round(delay, 3), "t": time.time()})
+            ready.append((time.monotonic() + delay, i, attempt + 1))
+            return True
+        self.journal.append(
+            {"op": "exhausted", "cell": i, "attempts": attempt,
+             "t": time.time()}, sync=True)
+        results[i] = FailedResult(
+            config=cells[i], error=error, traceback="",
+            retried=attempt > 1, attempts=attempt)
+        if note is not None:
+            note(i)
+        return False
+
+    def _renew_leases(self, tail_pos: int, outstanding: Dict[int, Tuple],
+                      lease_s: float) -> int:
+        """Read journal lines appended since ``tail_pos``; worker
+        heartbeats (and ``run`` lines) renew their cell's lease."""
+        try:
+            size = self.journal.journal_path.stat().st_size
+        except OSError:
+            return tail_pos
+        if size <= tail_pos:
+            return tail_pos
+        with open(self.journal.journal_path, "rb") as fh:
+            fh.seek(tail_pos)
+            chunk = fh.read(size - tail_pos)
+        # Only consume complete lines; a partially-flushed tail waits.
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return tail_pos
+        for line in chunk[:end].splitlines():
+            try:
+                op = json.loads(line)
+            except ValueError:
+                continue
+            if op.get("op") in ("hb", "run"):
+                i = op.get("cell")
+                if i in outstanding:
+                    ar, _, attempt = outstanding[i]
+                    outstanding[i] = (ar, op.get("t", time.time()) + lease_s,
+                                      attempt)
+        return tail_pos + end + 1
+
+    def _journal_counts(self, since: int) -> Tuple[int, int]:
+        """(simulations started, store-served completions) appended to the
+        journal after byte offset ``since`` — i.e. by this invocation."""
+        runs = cached = 0
+        try:
+            with open(self.journal.journal_path, "rb") as fh:
+                fh.seek(since)
+                raw = fh.read()
+        except OSError:
+            return 0, 0
+        for line in raw.splitlines():
+            try:
+                op = json.loads(line)
+            except ValueError:
+                continue
+            if op.get("op") == "run":
+                runs += 1
+            elif op.get("op") == "done" and op.get("cached"):
+                cached += 1
+        return runs, cached
+
+    @staticmethod
+    def _failed_from_state(config: ExperimentConfig,
+                           st: CellState) -> FailedResult:
+        return FailedResult(
+            config=config,
+            error=st.error or "exhausted retries",
+            traceback=st.traceback,
+            retried=st.attempts > 1,
+            attempts=st.attempts,
+            worker_pid=st.worker_pid,
+            wall_seconds=st.wall_seconds,
+        )
+
+
+# ------------------------------------------------------------ status API
+
+
+def sweep_status(journal_dir: Union[str, Path],
+                 lease_s: float = FabricConfig.lease_s) -> dict:
+    """Summarize a journal directory without touching the store or pool."""
+    journal = SweepJournal(journal_dir)
+    grid = journal.load_grid()
+    states = journal.replay(len(grid["configs"]), lease_s)
+    by_status: Dict[str, int] = {}
+    for st in states:
+        by_status[st.status] = by_status.get(st.status, 0) + 1
+    executed = sum(st.executions for st in states)
+    failed = [
+        {"index": st.index, "attempts": st.attempts, "error": st.error}
+        for st in states if st.status == EXHAUSTED
+    ]
+    report = None
+    if journal.report_path.exists():
+        try:
+            report = json.loads(journal.report_path.read_text())
+        except ValueError:
+            report = None
+    return {
+        "sweep_id": grid["sweep_id"],
+        "store": grid["store"],
+        "salt": grid["salt"],
+        "cells": len(grid["configs"]),
+        "by_status": by_status,
+        "executions": executed,
+        "exhausted": failed,
+        "last_report": report,
+    }

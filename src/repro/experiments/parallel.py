@@ -35,14 +35,15 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+import random
 import time
 import traceback
 from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
-from repro.experiments.cache import ExperimentCache
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.store import ResultStore, open_store
 from repro.metrics.fct import PackedFlowRecords
 
 logger = logging.getLogger(__name__)
@@ -54,6 +55,10 @@ DEFAULT_MAX_TASKS_PER_CHILD = 16
 #: Progress is logged at least this often (seconds) while results stream in.
 PROGRESS_LOG_PERIOD_S = 10.0
 
+#: Jitter fraction for retry backoff: each delay is stretched by up to
+#: this much, seeded, so retrying cells never re-synchronize.
+RETRY_JITTER = 0.5
+
 
 @dataclass
 class FailedResult:
@@ -61,25 +66,52 @@ class FailedResult:
 
     Sweeps receive one of these *in position* (the result list always has
     exactly ``len(configs)`` entries) so downstream tables can report the
-    hole instead of the whole run crashing.
+    hole instead of the whole run crashing. The stamps identify *where*
+    and *how long* the attempt ran: an OOM-killed or wedged worker shows
+    a foreign pid and a long wall clock, a deterministic config bug fails
+    fast in every attempt.
     """
 
     config: ExperimentConfig
     error: str       # repr of the exception
     traceback: str   # full formatted traceback from the worker
     retried: bool = False
+    #: total executions attempted for this config (1 = never retried)
+    attempts: int = 1
+    #: pid of the worker process the *last* attempt ran in
+    worker_pid: int = 0
+    #: wall-clock seconds the last attempt ran before failing
+    wall_seconds: float = 0.0
 
     @property
     def failed(self) -> bool:
         return True
 
 
+def retry_delay_s(attempt: int, base_s: float, seed: int, token) -> float:
+    """Deterministic exponential backoff with jitter for retry ``attempt``
+    (1-based) of the cell identified by ``token``.
+
+    ``base_s * 2**(attempt-1)``, stretched by up to :data:`RETRY_JITTER`
+    from an rng seeded on ``(seed, token, attempt)`` — reproducible across
+    runs and hosts, yet distinct per cell so a burst of failures does not
+    retry in lockstep.
+    """
+    if base_s <= 0:
+        return 0.0
+    rng = random.Random(f"{seed}:{token}:{attempt}")
+    return base_s * (2 ** (attempt - 1)) * (1.0 + RETRY_JITTER * rng.random())
+
+
 def _worker(cfg: ExperimentConfig) -> Union[ExperimentResult, FailedResult]:
+    start = time.monotonic()
     try:
         return run_experiment(cfg)
     except Exception as exc:  # noqa: BLE001 - the whole point is containment
         return FailedResult(config=cfg, error=repr(exc),
-                            traceback=traceback.format_exc())
+                            traceback=traceback.format_exc(),
+                            worker_pid=os.getpid(),
+                            wall_seconds=time.monotonic() - start)
 
 
 def _indexed_worker(item: Tuple[int, ExperimentConfig]):
@@ -116,31 +148,52 @@ def run_many(
     processes: Optional[int] = None,
     retry_failed: bool = False,
     max_tasks_per_child: Optional[int] = DEFAULT_MAX_TASKS_PER_CHILD,
-    cache: Optional[Union[ExperimentCache, str, os.PathLike]] = None,
+    cache: Optional[Union[ResultStore, str, os.PathLike]] = None,
     chunksize: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    max_retries: Optional[int] = None,
+    retry_base_s: float = 0.0,
+    retry_seed: int = 0,
+    coordinator=None,
 ) -> List[Union[ExperimentResult, FailedResult]]:
     """Run experiments, one process per CPU (serial when only one CPU or a
     single config — avoids pool overhead and keeps tracebacks simple).
 
     Always returns ``len(configs)`` entries in config order; a config that
     raises yields a :class:`FailedResult` instead of crashing the pool.
-    ``retry_failed`` re-runs each failed config exactly once (transient
-    failures — OOM kills, flaky I/O — often clear on retry; deterministic
-    bugs fail again and keep their FailedResult, marked ``retried``).
 
-    ``cache`` (an :class:`ExperimentCache` or a directory path) serves
-    already-stored configs without simulating them and stores fresh clean
-    results. ``chunksize`` overrides the ``imap_unordered`` batching.
+    ``max_retries`` re-runs each failed config up to that many extra times
+    with seeded exponential backoff (``retry_base_s`` doubling per attempt,
+    plus deterministic jitter from ``retry_seed`` — zero base means
+    immediate retries). Transient failures — OOM kills, flaky I/O — often
+    clear on retry; deterministic bugs fail every attempt and keep their
+    :class:`FailedResult`, with ``attempts`` recording the total tries.
+    ``retry_failed=True`` is the legacy spelling of
+    ``max_retries=1, retry_base_s=0``.
+
+    ``cache`` — a :class:`~repro.experiments.store.ResultStore`, a
+    directory path, or a ``sqlite:`` spec (see
+    :func:`repro.experiments.store.open_store`) — serves already-stored
+    configs without simulating them and stores fresh clean results.
+    ``chunksize`` overrides the ``imap_unordered`` batching.
     ``progress(done, total)`` is called after every completed config, cache
     hits included.
+
+    ``coordinator`` — a :class:`repro.experiments.fabric.SweepFabric` —
+    delegates the whole sweep to the durable fabric (persistent work
+    queue, leases, crash-resume; DESIGN.md §6g). The return contract is
+    unchanged; every other execution knob is then read from the fabric's
+    own config.
     """
+    if coordinator is not None:
+        return coordinator.run(configs, processes=processes,
+                               progress=progress)
     total = len(configs)
     results: List[Optional[Union[ExperimentResult, FailedResult]]] = (
         [None] * total
     )
-    if cache is not None and not isinstance(cache, ExperimentCache):
-        cache = ExperimentCache(cache)
+    if cache is not None:
+        cache = open_store(cache)
 
     done = 0
     last_log = time.monotonic()
@@ -195,15 +248,26 @@ def run_many(
                         cache.put(configs[index], result)
                     note_done(index)
 
-    if retry_failed:
-        for i, result in enumerate(results):
-            if isinstance(result, FailedResult):
-                second = _worker(result.config)
-                if isinstance(second, FailedResult):
-                    second.retried = True
-                elif cache is not None:
-                    cache.put(result.config, second)
-                results[i] = second
+    if retry_failed and max_retries is None:
+        max_retries = 1
+    for rnd in range(1, (max_retries or 0) + 1):
+        failed = [i for i, r in enumerate(results)
+                  if isinstance(r, FailedResult)]
+        if not failed:
+            break
+        logger.info("retry round %d/%d: %d failed config(s)",
+                    rnd, max_retries, len(failed))
+        for i in failed:
+            delay = retry_delay_s(rnd, retry_base_s, retry_seed, i)
+            if delay > 0:
+                time.sleep(delay)
+            fresh = _worker(configs[i])
+            if isinstance(fresh, FailedResult):
+                fresh.retried = True
+                fresh.attempts = rnd + 1
+            elif cache is not None:
+                cache.put(configs[i], fresh)
+            results[i] = fresh
 
     assert all(r is not None for r in results)
     return results  # type: ignore[return-value]

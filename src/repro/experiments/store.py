@@ -1,0 +1,306 @@
+"""Result-store backends for sweeps: one interface, pluggable persistence.
+
+PR 3 introduced the content-addressed :class:`ExperimentCache` — a
+directory of pickles keyed by config hash. The sweep fabric (DESIGN.md
+§6g) needs the same contract behind different media: a local directory
+for single-host runs, and a single SQLite file (WAL mode) that many
+worker *processes* — or many hosts sharing a filesystem — can write
+concurrently. This module defines that contract and the SQLite backend;
+the directory backend stays in :mod:`repro.experiments.cache` and simply
+inherits :class:`ResultStore`.
+
+Contract (every backend):
+
+* Keys come from :func:`repro.experiments.cache.config_key` — the salted
+  content hash of the full config — so a result stored by any process on
+  any host is valid for every other holder of the same config + salt.
+* ``get`` returns a fully unpacked :class:`ExperimentResult` or ``None``;
+  torn, stale-schema, or concurrently-written-then-lost entries read as
+  misses, never as exceptions.
+* ``put`` refuses failures and aborted results (they must re-run), and a
+  *write* failure (full disk, read-only mount, locked database) degrades
+  loudly-but-nonfatally: a warning log + ``write_errors`` counter, return
+  ``False``, sweep continues. See ISSUE 6 satellite on silent torn
+  writes.
+* The payload is the same pickle both backends use —
+  ``(result-with-records-stripped, PackedFlowRecords)`` — so migrating a
+  store between backends is a byte copy of payloads.
+
+``open_store`` parses user-facing specs::
+
+    open_store("results/.store")          -> ExperimentCache (directory)
+    open_store("sqlite:results/sweep.db") -> SqliteStore
+    open_store("results/sweep.db")        -> SqliteStore (by suffix)
+    open_store(existing_store)            -> unchanged
+
+Worker processes receive the *spec string* (picklable, connection-free)
+and open their own backend; SQLite connections never cross ``fork``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import os
+import pickle
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.fct import PackedFlowRecords
+
+logger = logging.getLogger(__name__)
+
+#: ``type(store).__name__``-independent spec prefix for the SQLite backend.
+SQLITE_PREFIX = "sqlite:"
+
+#: File suffixes that make a bare path mean "SQLite file", not "directory".
+SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+
+def encode_result(result: ExperimentResult) -> bytes:
+    """Serialize a clean result to the canonical payload bytes.
+
+    Flow records are packed into typed columns first (tens of thousands of
+    dataclasses become a handful of contiguous buffers), exactly as on the
+    worker→parent hop.
+    """
+    packed = PackedFlowRecords.pack(result.records)
+    stripped = dataclasses.replace(result, records=[])
+    return pickle.dumps((stripped, packed), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_result(payload: bytes) -> ExperimentResult:
+    """Inverse of :func:`encode_result`. Raises on torn payloads — callers
+    translate that into a cache miss."""
+    stripped, packed = pickle.loads(payload)
+    return dataclasses.replace(stripped, records=packed.unpack())
+
+
+#: Exceptions that mean "this payload is torn or from an old schema" — a
+#: miss, not an error. AttributeError covers renamed classes across PRs.
+DECODE_ERRORS = (pickle.UnpicklingError, ValueError, EOFError,
+                 AttributeError, TypeError, IndexError)
+
+
+class ResultStore:
+    """Interface + shared bookkeeping for experiment-result backends.
+
+    Subclasses implement ``_read(key) -> bytes | None`` and
+    ``_write(key, payload) -> None`` (raising ``OSError`` /
+    ``sqlite3.Error`` on media failure); this base class supplies keying,
+    encode/decode, the never-cache-failures rule, loud-but-nonfatal write
+    degradation, and hit/miss/store counters.
+    """
+
+    #: spec string that reopens this store in another process (set by
+    #: subclasses; used by the sweep fabric to hand stores to workers).
+    spec: str = ""
+
+    def __init__(self, salt: Optional[str] = None):
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.skipped = 0       # puts refused (failed/aborted results)
+        self.write_errors = 0  # puts that hit a media error (disk full, ...)
+
+    # ------------------------------------------------------------- keying
+
+    def key(self, config) -> str:
+        from repro.experiments.cache import config_key
+
+        return config_key(config, self.salt)
+
+    # ----------------------------------------------------------- get/put
+
+    def get(self, config) -> Optional[ExperimentResult]:
+        """Return the stored result for ``config``, or None on a miss."""
+        payload = self._read(self.key(config))
+        if payload is None:
+            self.misses += 1
+            return None
+        try:
+            result = decode_result(payload)
+        except DECODE_ERRORS:
+            # A torn or stale-schema entry reads as a miss; the fresh run
+            # will overwrite it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, config, result) -> bool:
+        """Store a clean result; returns True iff it was durably written.
+
+        Failed and aborted results are never stored — they are exactly the
+        runs a retry might fix. A media error (disk full, read-only mount,
+        database locked past its timeout) is *not* raised: the sweep keeps
+        its in-memory result and every incident is logged and counted, so
+        a dying disk degrades loudly instead of silently recomputing
+        forever.
+        """
+        if not isinstance(result, ExperimentResult) or result.aborted:
+            self.skipped += 1
+            return False
+        key = self.key(config)
+        try:
+            self._write(key, encode_result(result))
+        except (OSError, sqlite3.Error) as exc:
+            self.write_errors += 1
+            logger.warning(
+                "result-store write failed (%d so far) for key %s on %s: %s "
+                "— result kept in memory; this config will recompute next "
+                "sweep", self.write_errors, key[:12], self.describe(), exc)
+            return False
+        self.stores += 1
+        return True
+
+    # ------------------------------------------------- subclass interface
+
+    def _read(self, key: str) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def _write(self, key: str, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable location, for logs and reports."""
+        return self.spec or type(self).__name__
+
+    def close(self) -> None:
+        """Release any handles; stores are reopenable from ``spec``."""
+
+    # -------------------------------------------------------------- stats
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "skipped": self.skipped,
+            "write_errors": self.write_errors,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} {self.describe()} hits={self.hits} "
+                f"misses={self.misses} stores={self.stores} "
+                f"write_errors={self.write_errors}>")
+
+
+class SqliteStore(ResultStore):
+    """Single-file SQLite result store, safe for concurrent writers.
+
+    WAL journaling lets readers proceed while a writer commits; a generous
+    ``busy_timeout`` plus one-row autocommit ``INSERT OR REPLACE`` writes
+    make multi-process hammering from a sweep's worker pool safe (each
+    write is atomic; last writer of a key wins, and all writers of a key
+    hold byte-identical payloads by construction — the key is the content
+    hash of the config that produced them).
+
+    Connections are opened lazily per ``(process, thread)`` and never
+    shared across ``fork`` — workers reconstruct the store from its spec
+    string.
+    """
+
+    def __init__(self, path: Union[str, Path], salt: Optional[str] = None,
+                 timeout_s: float = 30.0):
+        super().__init__(salt)
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.spec = f"{SQLITE_PREFIX}{self.path}"
+        self.timeout_s = timeout_s
+        self._local = threading.local()
+        self._pid = os.getpid()
+        # Create the schema eagerly so a bad path fails at construction,
+        # not mid-sweep.
+        self._conn()
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS results (
+        key        TEXT PRIMARY KEY,
+        created_s  REAL NOT NULL,
+        n_bytes    INTEGER NOT NULL,
+        payload    BLOB NOT NULL
+    )
+    """
+
+    def _conn(self) -> sqlite3.Connection:
+        if os.getpid() != self._pid:
+            # Forked child: drop inherited state; sqlite handles must not
+            # cross fork.
+            self._local = threading.local()
+            self._pid = os.getpid()
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(self.path, timeout=self.timeout_s)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(self._SCHEMA)
+            conn.commit()
+            self._local.conn = conn
+        return conn
+
+    def _read(self, key: str) -> Optional[bytes]:
+        try:
+            row = self._conn().execute(
+                "SELECT payload FROM results WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.Error:
+            # A locked or corrupted database reads as a miss (same contract
+            # as a torn directory entry); writes will surface the problem.
+            return None
+        return row[0] if row else None
+
+    def _write(self, key: str, payload: bytes) -> None:
+        conn = self._conn()
+        with conn:  # one transaction per result; atomic under concurrency
+            conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(key, created_s, n_bytes, payload) VALUES (?, ?, ?, ?)",
+                (key, time.time(), len(payload), sqlite3.Binary(payload)),
+            )
+
+    def describe(self) -> str:
+        return self.spec
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None and os.getpid() == self._pid:
+            conn.close()
+            self._local.conn = None
+
+    # ------------------------------------------------------------- extras
+
+    def __len__(self) -> int:
+        return self._conn().execute(
+            "SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(k for (k,) in self._conn().execute(
+            "SELECT key FROM results ORDER BY key"))
+
+
+StoreSpec = Union[str, os.PathLike, ResultStore]
+
+
+def open_store(spec: StoreSpec, salt: Optional[str] = None) -> ResultStore:
+    """Open a result store from a user-facing spec (idempotent on stores).
+
+    ``sqlite:PATH`` or a bare path ending in ``.db``/``.sqlite[3]`` opens
+    :class:`SqliteStore`; any other path opens the directory-backed
+    :class:`~repro.experiments.cache.ExperimentCache`.
+    """
+    if isinstance(spec, ResultStore):
+        return spec
+    from repro.experiments.cache import ExperimentCache
+
+    text = os.fspath(spec)
+    if text.startswith(SQLITE_PREFIX):
+        return SqliteStore(text[len(SQLITE_PREFIX):], salt=salt)
+    if text.endswith(SQLITE_SUFFIXES):
+        return SqliteStore(text, salt=salt)
+    return ExperimentCache(text, salt=salt)

@@ -124,7 +124,7 @@ class TestExperimentCache:
         assert loaded.records == result.records
         assert loaded.events_run == result.events_run
         assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
-                                 "skipped": 0}
+                                 "skipped": 0, "write_errors": 0}
 
     def test_perturbed_config_misses(self, tmp_path):
         cache = ExperimentCache(tmp_path)
@@ -160,6 +160,32 @@ class TestExperimentCache:
         cache.put(cfg, self._result(cfg))
         cache.path(cfg).write_bytes(b"\x80garbage")
         assert cache.get(cfg) is None
+
+    def test_write_failure_is_loud_but_nonfatal(self, tmp_path, monkeypatch,
+                                                caplog):
+        """A full or read-only disk must not crash the sweep *or* pass
+        silently: put() returns False, counts the incident, and warns."""
+        import logging
+
+        cache = ExperimentCache(tmp_path)
+        cfg = tiny_config()
+
+        def full_disk(key, payload):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(cache, "_write", full_disk)
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.store"):
+            assert cache.put(cfg, self._result(cfg)) is False
+        assert cache.write_errors == 1
+        assert cache.stores == 0
+        assert "write failed" in caplog.text
+        # The sweep-facing contract: run_many keeps going and still
+        # returns the in-memory result.
+        monkeypatch.setattr(ExperimentCache, "_write",
+                            lambda self, key, payload: full_disk(key, payload))
+        results = run_many([tiny_config(seed=7)], processes=1,
+                           cache=str(tmp_path / "doomed"))
+        assert not isinstance(results[0], FailedResult)
 
 
 class TestRunManyStreaming:

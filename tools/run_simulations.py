@@ -10,6 +10,17 @@ experiment ids to parameters.
     python tools/run_simulations.py --out results/ [--ms 10] [--paper-scale] \
         [--cache .sim-cache]
 
+Long campaigns should run through the durable sweep fabric (DESIGN.md
+§6g): ``--store`` (directory, or ``sqlite:PATH`` for the concurrent-
+writer SQLite backend) executes the grid under a persistent journal in
+``<out>/sweep-journal`` with per-cell leases and bounded retries, and
+``--resume`` continues a killed or partial run without recomputing any
+stored cell::
+
+    python tools/run_simulations.py --out results/ --store sqlite:results/sweep.db
+    # ... kill -9, power loss, OOM ...
+    python tools/run_simulations.py --out results/ --resume
+
 ``tools/generate_figure.py`` consumes the output.
 """
 
@@ -87,6 +98,19 @@ def main() -> int:
     parser.add_argument("--cache", metavar="DIR", default=None,
                         help="experiment-cache directory: re-runs only "
                              "simulate configs not already stored there")
+    parser.add_argument("--store", metavar="SPEC", default=None,
+                        help="run through the durable sweep fabric with "
+                             "this result store (directory or sqlite:PATH); "
+                             "survives kill -9 via --resume")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume the fabric journal in <out> (implies "
+                             "the fabric path; grid flags must match the "
+                             "original run)")
+    parser.add_argument("--journal", metavar="DIR", default=None,
+                        help="fabric journal directory "
+                             "(default: <out>/sweep-journal)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="extra attempts per failing config")
     parser.add_argument("--paper-scale", action="store_true")
     parser.add_argument("--only", nargs="*", default=None,
                         help="run only experiment ids with these prefixes")
@@ -116,8 +140,25 @@ def main() -> int:
     print(f"running {len(grid)} simulations "
           f"({base.clos.n_hosts} hosts, {args.ms} ms each) ...")
 
-    results = run_many([cfg for _, cfg in grid], processes=args.processes,
-                       retry_failed=True, cache=args.cache)
+    configs = [cfg for _, cfg in grid]
+    if args.store or args.resume:
+        from repro.experiments.fabric import FabricConfig, SweepFabric
+
+        journal_dir = args.journal or os.path.join(args.out, "sweep-journal")
+        fabric = SweepFabric(
+            journal_dir, store=args.store,
+            config=FabricConfig(processes=args.processes,
+                                max_retries=args.max_retries))
+        results = fabric.run(configs)
+        report = fabric.last_report
+        print(f"sweep {report.sweep_id} {report.status}: "
+              f"{report.completed}/{report.total} cells, "
+              f"{report.executed} simulated, {report.store_hits} store "
+              f"hits, {report.retries} retries "
+              f"(report: {fabric.journal.report_path})")
+    else:
+        results = run_many(configs, processes=args.processes,
+                           max_retries=args.max_retries, cache=args.cache)
 
     index_rows = []
     audit_failures: List[str] = []
