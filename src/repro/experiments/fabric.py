@@ -149,6 +149,7 @@ class CellState:
     traceback: str = ""
     worker_pid: int = 0
     wall_seconds: float = 0.0
+    stale_verdicts: int = 0  # verdicts from superseded (expired) attempts
 
 
 @dataclass
@@ -166,6 +167,10 @@ class CompletionReport:
     expired_leases: int
     wall_seconds: float
     store: str
+    #: expired attempts whose worker turned out to be alive and finished
+    #: anyway — the verdict was discarded, but the cell may have simulated
+    #: twice (its store write is still valid: same key, same bytes).
+    duplicate_executions: int = 0
     store_stats: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -288,8 +293,18 @@ class SweepJournal:
 
         Torn tail lines (a crash mid-append) are skipped; unknown ops are
         ignored so newer fabrics can extend the format.
+
+        An expired lease supersedes its attempt: a worker the coordinator
+        gave up on may still be running (`expire` cannot cancel it), and
+        its `done`/`fail` lines can land arbitrarily late — even after a
+        `requeue` or `exhausted` for the same cell. Verdicts from
+        attempts below the cell's lowest still-live attempt are therefore
+        counted as stale and otherwise ignored, so a zombie can never
+        flip an exhausted cell or double-charge an attempt. Lines with no
+        ``attempt`` field (older journals) are always treated as live.
         """
         cells = [CellState(i) for i in range(n_cells)]
+        min_live = [1] * n_cells  # lowest attempt whose verdict counts
         try:
             raw = self.journal_path.read_bytes()
         except FileNotFoundError:
@@ -306,21 +321,30 @@ class SweepJournal:
             if idx is None or not (0 <= idx < n_cells):
                 continue
             cell = cells[idx]
+            attempt = op.get("attempt")
+            stale = attempt is not None and attempt < min_live[idx]
             if kind == "lease":
                 cell.status = LEASED
                 cell.deadline = op.get("deadline",
                                        op.get("t", 0.0) + lease_s)
             elif kind == "hb":
-                if cell.status == LEASED:
+                if cell.status == LEASED and not stale:
                     cell.deadline = op.get("t", 0.0) + lease_s
             elif kind == "run":
                 cell.executions += 1
-                cell.worker_pid = op.get("pid", 0)
+                if not stale:
+                    cell.worker_pid = op.get("pid", 0)
             elif kind == "done":
+                if stale:
+                    cell.stale_verdicts += 1
+                    continue
                 cell.status = DONE
                 cell.cached = bool(op.get("cached"))
                 cell.wall_seconds = op.get("wall_s", 0.0)
             elif kind == "fail":
+                if stale:
+                    cell.stale_verdicts += 1
+                    continue
                 cell.status = PENDING
                 cell.attempts = max(cell.attempts, op.get("attempt", 1))
                 cell.error = op.get("error", "")
@@ -328,10 +352,14 @@ class SweepJournal:
                 cell.worker_pid = op.get("pid", 0)
                 cell.wall_seconds = op.get("wall_s", 0.0)
             elif kind == "expire":
+                expired_attempt = op.get("attempt", 1)
+                min_live[idx] = max(min_live[idx], expired_attempt + 1)
                 cell.status = PENDING
-                cell.attempts = max(cell.attempts, op.get("attempt", 1))
+                cell.attempts = max(cell.attempts, expired_attempt)
                 cell.error = cell.error or "lease expired (worker dead or stalled)"
             elif kind == "requeue":
+                if attempt is not None:
+                    min_live[idx] = max(min_live[idx], attempt)
                 cell.status = PENDING
             elif kind == "exhausted":
                 cell.status = EXHAUSTED
@@ -342,12 +370,12 @@ class SweepJournal:
 # ---------------------------------------------------------------- worker
 
 
-def _heartbeat_loop(journal_path: str, index: int, pid: int,
+def _heartbeat_loop(journal_path: str, index: int, pid: int, attempt: int,
                     period_s: float, stop: threading.Event) -> None:
     while not stop.wait(period_s):
         try:
             append_line(journal_path, {"op": "hb", "cell": index, "pid": pid,
-                                       "t": time.time()})
+                                       "attempt": attempt, "t": time.time()})
         except OSError:  # heartbeat loss is safe: worst case a re-queue
             pass
 
@@ -370,7 +398,8 @@ def _fabric_cell(item: Tuple) -> Tuple[int, str, object]:
         if hit is not None:
             append_line(journal_path,
                         {"op": "done", "cell": index, "pid": pid,
-                         "cached": True, "t": time.time()}, sync=True)
+                         "attempt": attempt, "cached": True,
+                         "t": time.time()}, sync=True)
             return index, "done", None
         append_line(journal_path,
                     {"op": "run", "cell": index, "pid": pid,
@@ -378,7 +407,8 @@ def _fabric_cell(item: Tuple) -> Tuple[int, str, object]:
         stop = threading.Event()
         hb = threading.Thread(
             target=_heartbeat_loop,
-            args=(journal_path, index, pid, heartbeat_s, stop), daemon=True)
+            args=(journal_path, index, pid, attempt, heartbeat_s, stop),
+            daemon=True)
         hb.start()
         try:
             result = _worker(cfg)
@@ -400,8 +430,8 @@ def _fabric_cell(item: Tuple) -> Tuple[int, str, object]:
         stored = store.put(cfg, result)
         append_line(journal_path,
                     {"op": "done", "cell": index, "pid": pid,
-                     "cached": False, "stored": stored, "wall_s": wall,
-                     "t": time.time()}, sync=True)
+                     "attempt": attempt, "cached": False, "stored": stored,
+                     "wall_s": wall, "t": time.time()}, sync=True)
         if stored:
             return index, "done", None
         # Aborted result or store write failure: the store has nothing,
@@ -507,6 +537,7 @@ class SweepFabric:
         store_hits = 0
         retries = 0
         expired = 0
+        duplicates = 0
 
         # Resume pre-pass: harvest finished cells, re-queue the dead.
         ready: deque = deque()  # (ready_at_monotonic, index, attempt)
@@ -525,6 +556,17 @@ class SweepFabric:
                                      "t": time.time()})
                 st.status = PENDING
             if st.status == EXHAUSTED:
+                # A superseded attempt may have finished after the cell
+                # was written off (expiry cannot cancel a running worker)
+                # and stored a valid result — serve it rather than
+                # re-reporting a failure that self-healed.
+                res = store.get(cells[i])
+                if res is not None:
+                    self.journal.append(
+                        {"op": "done", "cell": i, "attempt": st.attempts + 1,
+                         "cached": True, "t": time.time()}, sync=True)
+                    results[i] = res
+                    continue
                 results[i] = self._failed_from_state(cells[i], st)
                 continue
             # PENDING — and LEASED: a lease can only be live if another
@@ -542,7 +584,7 @@ class SweepFabric:
             if processes is None:
                 processes = os.cpu_count() or 1
             processes = max(1, min(processes, len(ready)))
-            retries, expired = self._execute(
+            retries, expired, duplicates = self._execute(
                 ready, cells, keys, grid, store, results, processes,
                 progress, done_count)
         executed, cached_dones = self._journal_counts(journal_start)
@@ -566,6 +608,7 @@ class SweepFabric:
             expired_leases=expired,
             wall_seconds=round(time.monotonic() - t_start, 3),
             store=grid["store"],
+            duplicate_executions=duplicates,
             store_stats=store.stats(),
         )
         report.write(self.journal.report_path)
@@ -585,9 +628,9 @@ class SweepFabric:
 
     def _execute(self, ready, cells, keys, grid, store, results,
                  processes, progress, done_count):
-        """Drive pending cells to a verdict; returns ``(retries,
-        expired)`` — execution/hit counts are read back from the journal,
-        which both serial and pooled paths append identically."""
+        """Drive pending cells to a verdict; returns ``(retries, expired,
+        duplicates)`` — execution/hit counts are read back from the
+        journal, which both serial and pooled paths append identically."""
         cfg = self.config
         total = len(cells)
         journal_path = os.fspath(self.journal.journal_path)
@@ -655,22 +698,34 @@ class SweepFabric:
                      "t": time.time()})
                 _, verdict, payload = _fabric_cell(make_item(i, attempt))
                 harvest(i, verdict, payload, attempt)
-            return retries, expired
+            return retries, expired, 0
 
         outstanding: Dict[int, Tuple] = {}  # i -> (async, deadline, attempt)
         inflight_keys: Dict[str, int] = {}
+        # Expired-but-uncancellable tasks: apply_async gives no way to
+        # revoke a dispatched cell, so an expired attempt may still be
+        # queued or running. Its verdict is superseded (harvest ignores
+        # it, replay skips it by attempt number), but we keep the handle
+        # to count attempts that completed anyway — duplicate executions.
+        zombies: List[Tuple[int, object]] = []
+        duplicates = 0
         tail_pos = self.journal.journal_path.stat().st_size
         pool = multiprocessing.Pool(
             processes=processes, maxtasksperchild=cfg.max_tasks_per_child)
         try:
             while ready or outstanding:
                 now = time.monotonic()
-                # Dispatch every ready cell whose backoff has elapsed and
-                # whose content hash is not already in flight (duplicate
-                # configs — e.g. the shared 0%-deployment point — wait and
-                # then hit the store instead of simulating twice).
+                # Dispatch ready cells whose backoff has elapsed — but
+                # never more than the pool has workers, so the lease
+                # clock starts when a worker can actually pick the task
+                # up. Dispatching the whole backlog at once would start
+                # every lease at submit time and falsely expire any cell
+                # whose pool-queue wait exceeded lease_s. Duplicate
+                # content hashes (e.g. the shared 0%-deployment point)
+                # defer behind their in-flight leader and then hit the
+                # store instead of simulating twice.
                 deferred = deque()
-                while ready:
+                while ready and len(outstanding) < processes:
                     ready_at, i, attempt = min(ready)
                     if ready_at > now:
                         break
@@ -713,7 +768,9 @@ class SweepFabric:
                         continue
                     harvest(i, verdict, payload, attempt)
 
-                # Expire dead leases.
+                # Expire dead leases. The task itself cannot be
+                # cancelled; it becomes a zombie whose verdict is
+                # superseded by the expire line.
                 now_wall = time.time()
                 for i in [i for i, (_, dl, _) in outstanding.items()
                           if dl < now_wall]:
@@ -721,6 +778,7 @@ class SweepFabric:
                     if inflight_keys.get(keys[i]) == i:
                         del inflight_keys[keys[i]]
                     expired += 1
+                    zombies.append((i, ar))
                     self.journal.append(
                         {"op": "expire", "cell": i, "attempt": attempt,
                          "t": now_wall}, sync=True)
@@ -733,12 +791,29 @@ class SweepFabric:
                             ready, results, cells, note):
                         retries += 1
 
+                # Reap zombies that ran to completion despite expiry:
+                # their verdict is discarded (the re-queued attempt owns
+                # the cell now), but a successful zombie's store write
+                # still serves later attempts, and the count surfaces in
+                # the report as duplicate_executions.
+                if zombies:
+                    still = []
+                    for zi, zar in zombies:
+                        if zar.ready():
+                            duplicates += 1
+                            logger.info(
+                                "expired attempt for cell %d completed "
+                                "anyway; verdict discarded", zi)
+                        else:
+                            still.append((zi, zar))
+                    zombies = still
+
                 if ready or outstanding:
                     time.sleep(cfg.poll_s)
         finally:
             pool.terminate()
             pool.join()
-        return retries, expired
+        return retries, expired, duplicates
 
     # ----------------------------------------------------------- helpers
 
@@ -791,6 +866,9 @@ class SweepFabric:
                 i = op.get("cell")
                 if i in outstanding:
                     ar, _, attempt = outstanding[i]
+                    line_attempt = op.get("attempt")
+                    if line_attempt is not None and line_attempt != attempt:
+                        continue  # zombie heartbeat from a superseded attempt
                     outstanding[i] = (ar, op.get("t", time.time()) + lease_s,
                                       attempt)
         return tail_pos + end + 1
@@ -860,6 +938,7 @@ def sweep_status(journal_dir: Union[str, Path],
         "cells": len(grid["configs"]),
         "by_status": by_status,
         "executions": executed,
+        "stale_verdicts": sum(st.stale_verdicts for st in states),
         "exhausted": failed,
         "last_report": report,
     }

@@ -81,9 +81,13 @@ def decode_result(payload: bytes) -> ExperimentResult:
 
 
 #: Exceptions that mean "this payload is torn or from an old schema" — a
-#: miss, not an error. AttributeError covers renamed classes across PRs.
+#: miss, not an error. AttributeError covers renamed classes across PRs,
+#: ImportError (and its ModuleNotFoundError subclass) covers pickles
+#: referencing moved or deleted modules, KeyError covers removed enum
+#: members looked up by value.
 DECODE_ERRORS = (pickle.UnpicklingError, ValueError, EOFError,
-                 AttributeError, TypeError, IndexError)
+                 AttributeError, TypeError, IndexError, ImportError,
+                 KeyError)
 
 
 class ResultStore:

@@ -115,6 +115,20 @@ class TestSqliteStore:
                          (b"\x80garbage",))
         assert store.get(cfg) is None
 
+    def test_missing_module_payload_reads_as_miss(self, tmp_path):
+        """A payload pickled against a since-moved module is a stale-schema
+        entry: it must read as a miss, not raise out of get()."""
+        store = SqliteStore(tmp_path / "r.db")
+        cfg = tiny_config()
+        store.put(cfg, synthetic_result(cfg))
+        # Protocol-0 GLOBAL opcode referencing a module that no longer
+        # exists; unpickling raises ModuleNotFoundError.
+        with sqlite3.connect(store.path) as conn:
+            conn.execute("UPDATE results SET payload = ?",
+                         (b"cno_such_module_xyz\nKlass\n.",))
+        assert store.get(cfg) is None
+        assert store.misses == 1
+
     def test_write_error_is_counted_not_raised(self, tmp_path, monkeypatch):
         store = SqliteStore(tmp_path / "r.db")
         cfg = tiny_config()
@@ -248,6 +262,36 @@ class TestJournal:
         journal.append({"op": "hb", "cell": 0, "pid": 1, "t": t + 100})
         states = journal.replay(1, lease_s=5)
         assert states[0].deadline == pytest.approx(t + 105)
+
+    def test_replay_ignores_stale_zombie_verdicts(self, tmp_path):
+        """An expired attempt's worker cannot be cancelled; its late
+        `done`/`fail` lines (landing after `exhausted` or after the
+        retry's verdict) must not rewrite the cell's state."""
+        journal = SweepJournal(tmp_path / "j")
+        journal.create([tiny_config(seed=s) for s in (1, 2)], "s")
+        t = time.time()
+        for op in [
+            # cell 0: attempt 1 expires and the cell is exhausted; the
+            # zombie's late `done` must not flip the verdict.
+            {"op": "lease", "cell": 0, "attempt": 1, "deadline": t + 1},
+            {"op": "expire", "cell": 0, "attempt": 1},
+            {"op": "exhausted", "cell": 0, "attempts": 1},
+            {"op": "done", "cell": 0, "attempt": 1, "cached": False},
+            # cell 1: attempt 1 expires, attempt 2 succeeds; the zombie's
+            # late `fail` must not resurrect the failure.
+            {"op": "lease", "cell": 1, "attempt": 1, "deadline": t + 1},
+            {"op": "expire", "cell": 1, "attempt": 1},
+            {"op": "requeue", "cell": 1, "attempt": 2},
+            {"op": "lease", "cell": 1, "attempt": 2, "deadline": t + 1},
+            {"op": "done", "cell": 1, "attempt": 2, "cached": False},
+            {"op": "fail", "cell": 1, "attempt": 1, "error": "zombie"},
+        ]:
+            journal.append(op)
+        states = journal.replay(2, lease_s=30)
+        assert states[0].status == EXHAUSTED
+        assert states[0].stale_verdicts == 1
+        assert states[1].status == DONE
+        assert states[1].stale_verdicts == 1
 
     def test_verify_grid_catches_keying_drift(self, tmp_path):
         journal = SweepJournal(tmp_path / "j")
@@ -453,6 +497,58 @@ class TestFabric:
         for a, b in zip(serial, pooled):
             assert a.records == b.records
             assert pickle.dumps(a.fct()) == pickle.dumps(b.fct())
+
+    def test_pool_dispatch_capped_at_pool_size(self, tmp_path):
+        """Leases are only taken when a worker slot is free. Dispatching
+        the whole backlog at once would start every lease at submit time,
+        so any cell whose pool-queue wait exceeded lease_s was falsely
+        expired without ever running."""
+        configs = [tiny_config(seed=s) for s in range(1, 7)]
+        fabric = SweepFabric(
+            tmp_path / "journal", store=f"sqlite:{tmp_path}/r.db",
+            config=FabricConfig(processes=2, heartbeat_s=0.2))
+        fabric.run(configs)
+        report = fabric.last_report
+        assert report.status == "complete"
+        assert report.expired_leases == 0
+        assert report.duplicate_executions == 0
+        # Replay lease/verdict ordering from the journal: in-flight
+        # cells (leased, no verdict yet) never exceed the pool size.
+        inflight = 0
+        max_inflight = 0
+        journal_path = tmp_path / "journal" / "journal.jsonl"
+        for line in journal_path.read_bytes().splitlines():
+            op = json.loads(line)
+            if op.get("op") == "lease":
+                inflight += 1
+                max_inflight = max(max_inflight, inflight)
+            elif op.get("op") in ("done", "fail", "expire"):
+                inflight -= 1
+        assert max_inflight <= 2
+
+    def test_resume_serves_exhausted_cell_from_store(self, tmp_path):
+        """A cell written off as exhausted whose zombie attempt later
+        stored a valid result is served from the store on resume instead
+        of re-reporting the self-healed failure."""
+        configs = [tiny_config(seed=1), broken_config(seed=2)]
+        fabric = self.fabric(tmp_path, max_retries=0)
+        results = fabric.run(configs)
+        assert isinstance(results[1], FailedResult)
+        grid = SweepJournal(tmp_path / "journal").load_grid()
+        store = open_store(grid["store"], salt=grid["salt"])
+        store.put(configs[1], synthetic_result(configs[1]))
+        store.close()
+        resumed = SweepFabric(tmp_path / "journal",
+                              config=FabricConfig(processes=1))
+        res2 = resumed.run()
+        assert not isinstance(res2[1], FailedResult)
+        report = resumed.last_report
+        assert report.status == "complete"
+        assert report.executed == 0
+        assert report.store_hits == 2
+        # The salvage is journaled: a further resume sees both cells DONE.
+        status = sweep_status(tmp_path / "journal")
+        assert status["by_status"] == {DONE: 2}
 
     def test_lease_expiry_requeues_and_terminates(self, tmp_path,
                                                   monkeypatch):
