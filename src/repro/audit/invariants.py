@@ -194,7 +194,7 @@ class InvariantAuditor:
         the identities of pooled packets referenced by any event."""
         link_inflight: Dict[int, int] = {}
         pooled: Set[int] = set()
-        for entry in self.sim._heap:
+        for entry in self.sim.iter_pending():
             ev = entry[2]
             if type(ev) is tuple:
                 fn, args = ev

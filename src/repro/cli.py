@@ -23,7 +23,12 @@ import sys
 from typing import List, Optional
 
 from repro.audit.matrix import MATRIX_SCHEMES, MATRIX_TOPOLOGIES, run_matrix
-from repro.audit.replay import format_replay_report, replay_config
+from repro.audit.replay import (
+    compare_engines,
+    format_replay_report,
+    replay_config,
+)
+from repro.sim.engine import ENGINE_BACKENDS
 from repro.experiments.config import SchemeName
 from repro.metrics.telemetry import TelemetryConfig, TelemetrySeries
 from repro.experiments.figures import (
@@ -274,6 +279,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay", action="store_true",
         help="determinism cell: run the first scheme x topo twice (through "
              "worker pickling and a cache round-trip) and compare digests")
+    p_audit.add_argument(
+        "--engine", choices=sorted(ENGINE_BACKENDS), default=None,
+        help="pin the event-engine backend for this audit (exported as "
+             "REPRO_SIM_ENGINE so worker subprocesses inherit it)")
+    p_audit.add_argument(
+        "--compare-engines", action="store_true",
+        help="engine-equivalence matrix: run every scheme x topo cell once "
+             "per engine backend and require bit-identical event digests")
     return parser
 
 
@@ -541,6 +554,35 @@ def _run_audit(args) -> int:
     divergence, so CI can gate on it directly.
     """
     horizon_ns = args.ms * MILLIS
+    if args.engine:
+        # Exported (not just passed down) so run_many worker subprocesses
+        # audit on the same backend as the parent.
+        os.environ["REPRO_SIM_ENGINE"] = args.engine
+    if args.compare_engines:
+        from repro.audit.matrix import matrix_config
+
+        failed = 0
+        rows = []
+        for topo in args.topos:
+            for scheme in args.schemes:
+                cfg = matrix_config(scheme, topo, sim_time_ns=horizon_ns,
+                                    seed=args.seed, load=args.load)
+                report = compare_engines(cfg)
+                rows.append((topo, scheme,
+                             "MATCH" if report.match else "DIVERGED",
+                             report.total_events, report.epochs))
+                if not report.match:
+                    failed += 1
+                    print(f"\n{topo} x {scheme}:")
+                    print(format_replay_report(report))
+        print_table("Engine digest-equivalence matrix (heap vs calendar)",
+                    ("topology", "scheme", "digests", "events", "epochs"),
+                    rows)
+        if failed:
+            print(f"\n{failed}/{len(rows)} cells DIVERGED between engines")
+            return 1
+        print(f"\nall {len(rows)} cells digest-identical across engines")
+        return 0
     if args.replay:
         from repro.audit.matrix import matrix_config
 

@@ -23,7 +23,7 @@ from repro.metrics.telemetry import (
     TelemetrySeries,
 )
 from repro.net.topology import Clos, build_clos
-from repro.sim.engine import Simulator
+from repro.sim.engine import make_simulator
 from repro.sim.rng import RngRegistry
 from repro.transports.base import FlowSpec, FlowStats
 from repro.workloads.arrivals import PoissonTraffic, TrafficSpec
@@ -120,7 +120,9 @@ def run_experiment(cfg: ExperimentConfig,
                    sample_q1: bool = False) -> ExperimentResult:
     """Run one full simulation and collect results."""
     wall_start = time.monotonic()
-    sim = Simulator()
+    # Engine backend resolves from REPRO_SIM_ENGINE so whole process trees
+    # (including run_many workers) can be flipped for A/B digest audits.
+    sim = make_simulator()
     rng = RngRegistry(cfg.seed)
     setup = make_scheme_setup(cfg)
     clos = build_clos(sim, setup.queue_factory, cfg.clos)

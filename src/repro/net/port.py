@@ -12,6 +12,12 @@ the port schedules the packet's arrival at the far end as one event
 something will actually need the wire at that instant (backlog remains, or a
 monitor wants the exact serialization-end callback). A pass-through packet on
 an idle port therefore costs one scheduled event per hop instead of two.
+
+Burst dequeue (PR 7): on a pacer-free, monitor-free port a backlog drains in
+bursts of up to :data:`EgressPort.BURST` packets per serve event — each
+packet's far-end arrival is scheduled at its own cumulative serialization
+end, so wire timing is unchanged, but the port pays one Python-level serve
+event per burst instead of one per packet (DESIGN.md §6h).
 Shared-buffer bytes are released when the packet leaves its queue (transmit
 start): the buffer tracks *queued* bytes, the serializer slot is free
 (DESIGN.md §6d).
@@ -39,7 +45,11 @@ class EgressPort:
     __slots__ = ("sim", "name", "rate_bps", "buffer", "scheduler", "_queues",
                  "classifier", "link", "monitors", "dropped_unclassified",
                  "_wake_handle", "_serve_pending", "_free_at", "_tx_cache",
-                 "_sched_next", "_has_backlog", "_q_unpaced", "_multi")
+                 "_sched_next", "_has_backlog", "_q_unpaced", "_multi",
+                 "_batch_ok")
+
+    #: max packets committed to the wire per serve event (burst dequeue)
+    BURST = 8
 
     def __init__(
         self,
@@ -78,6 +88,8 @@ class EgressPort:
         #: per-queue-index flag: eligible for cut-through (no pacer)
         self._q_unpaced = [s.pacer is None for s in schedules]
         self._multi = len(schedules) > 1
+        #: burst dequeue is valid only on a fully pacer-free port
+        self._batch_ok = self.scheduler.unpaced
 
     @property
     def busy(self) -> bool:
@@ -173,7 +185,7 @@ class EgressPort:
             self._serve()
 
     def _serve(self) -> None:
-        """Start the next transmission. Call only when the wire is idle."""
+        """Start the next transmission(s). Call only when the wire is idle."""
         sim = self.sim
         now = sim.now
         pkt, wake = self._sched_next(now)
@@ -182,21 +194,44 @@ class EgressPort:
                 self._wake_handle = sim.at(max(wake, now), self._on_wake)
             return
         size = pkt.size
-        txt = self._tx_cache.get(size)
+        tx_cache = self._tx_cache
+        txt = tx_cache.get(size)
         if txt is None:
             txt = tx_time_ns(size, self.rate_bps)
-            self._tx_cache[size] = txt
+            tx_cache[size] = txt
         # The packet left its queue: its bytes stop counting against the
         # shared buffer now (the buffer limits *queued* bytes).
         self.buffer.release(size)
-        self._free_at = now + txt
         if self.monitors:
             # Exact serialization-end semantics for monitors: a dedicated
             # tx-done event fires them at the moment the wire goes idle.
+            self._free_at = now + txt
             self._serve_pending = True
             sim.post(txt, self._tx_done, pkt)
             return
-        self.link.carry_after(txt, pkt)
+        link = self.link
+        link.carry_after(txt, pkt)
+        if self._batch_ok and self._has_backlog():
+            # Burst dequeue: commit up to BURST packets back-to-back onto
+            # the wire in ONE serve event instead of one event per packet.
+            # Each packet's arrival is scheduled at its own serialization
+            # end (cumulative offset), so wire timing — and therefore every
+            # downstream arrival instant — is identical to serving them one
+            # at a time; only the dequeue bookkeeping moves earlier, to the
+            # burst start. Valid only because this port has no pacers (the
+            # scheduler's pick sequence is time-independent) and no
+            # monitors (no exact per-packet tx-end observers).
+            buffer = self.buffer
+            for pkt in self.scheduler.next_batch(now, self.BURST - 1):
+                size = pkt.size
+                ptxt = tx_cache.get(size)
+                if ptxt is None:
+                    ptxt = tx_time_ns(size, self.rate_bps)
+                    tx_cache[size] = ptxt
+                buffer.release(size)
+                txt += ptxt
+                link.carry_after(txt, pkt)
+        self._free_at = now + txt
         if self._has_backlog():
             self._serve_pending = True
             sim.post(txt, self._serve_event)

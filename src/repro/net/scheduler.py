@@ -62,7 +62,7 @@ class PortScheduler:
 
     __slots__ = ("_schedules", "_classes", "_dwrr", "_rr_pos", "_backlog",
                  "_class_of", "_pos_of", "_sole_idx", "_sole_queue",
-                 "_sole_unpaced")
+                 "_sole_unpaced", "unpaced")
 
     def __init__(self, schedules: List[QueueSchedule]) -> None:
         if not schedules:
@@ -105,6 +105,9 @@ class PortScheduler:
         )
         self._sole_unpaced = (self._sole_queue is not None
                               and schedules[0].pacer is None)
+        #: no queue is paced anywhere: ``next(now)`` is time-independent,
+        #: which is what makes batched dequeue (:meth:`next_batch`) valid
+        self.unpaced = all(s.pacer is None for s in schedules)
 
     def _make_watcher(self, class_idx: int):
         backlog = self._backlog
@@ -185,6 +188,31 @@ class PortScheduler:
         n = len(members)
         if n > 1:
             self._rr_pos[class_idx] = (self._pos_of[idx] + 1) % n
+
+    def next_batch(self, now_ns: int, limit: int) -> List[Packet]:
+        """Dequeue up to ``limit`` ready packets at one instant.
+
+        Valid only on a pacer-free scheduler (``unpaced``): without pacers,
+        :meth:`next` depends on queue state alone — never on ``now_ns`` —
+        so repeated calls at a fixed instant pick exactly the packets that
+        consecutive single dequeues at later instants would have picked.
+        With a pacer in play that equivalence breaks (tokens accrue between
+        transmissions), so the egress port never batches a paced port.
+        """
+        q = self._sole_queue
+        if q is not None and self._sole_unpaced:
+            # The ubiquitous single-queue port: bare pops, no classing.
+            batch = []
+            while q._fifo and len(batch) < limit:
+                batch.append(q.pop())
+            return batch
+        batch = []
+        while len(batch) < limit:
+            pkt, _ = self.next(now_ns)
+            if pkt is None:
+                break
+            batch.append(pkt)
+        return batch
 
     def _serve_single(
         self, idx: int, now_ns: int

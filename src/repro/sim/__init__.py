@@ -1,12 +1,20 @@
 """Discrete-event simulation kernel.
 
-The kernel is deliberately tiny: an integer-nanosecond clock, a binary-heap
-event queue with cancellable handles (:mod:`repro.sim.engine`), unit helpers
-for time and rate arithmetic (:mod:`repro.sim.units`), and named deterministic
-random streams (:mod:`repro.sim.rng`).
+The kernel is deliberately tiny: an integer-nanosecond clock, an event
+calendar with cancellable handles (:mod:`repro.sim.engine` — a calendar-queue
+default plus a retained heap oracle), unit helpers for time and rate
+arithmetic (:mod:`repro.sim.units`), and named deterministic random streams
+(:mod:`repro.sim.rng`).
 """
 
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import (
+    CalendarSimulator,
+    EventHandle,
+    HeapSimulator,
+    Simulator,
+    engine_backend,
+    make_simulator,
+)
 from repro.sim.rng import RngRegistry
 from repro.sim.units import (
     GBPS,
@@ -23,8 +31,12 @@ from repro.sim.units import (
 )
 
 __all__ = [
+    "CalendarSimulator",
     "EventHandle",
+    "HeapSimulator",
     "Simulator",
+    "engine_backend",
+    "make_simulator",
     "RngRegistry",
     "GBPS",
     "MBPS",

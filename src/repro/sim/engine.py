@@ -1,20 +1,31 @@
-"""Event loop for the packet-level simulator.
+"""Event engines for the packet-level simulator.
 
-The engine is a classic calendar built on :mod:`heapq`. The heap holds
-``(time, seq, payload)`` tuples so ordering is decided by C-level tuple
-comparison instead of a Python ``__lt__`` call per sift step; the payload is
-an :class:`EventHandle` for cancellable events (``at``/``after``) or a bare
+Two interchangeable backends implement the same scheduling surface
+(``at``/``after``/``call_soon``/``post``/``post_at``/``every``/``run``/
+``peek_time``/``pending``/``iter_pending``):
+
+* :class:`CalendarSimulator` (the default, exported as :data:`Simulator`) —
+  a calendar queue: a next-event slot, fixed-width bucket batches drained
+  with one sort per bucket, and a heap of bucket ids for far-future timers.
+  See :mod:`repro.sim.calendar` for the design.
+* :class:`HeapSimulator` — the classic ``heapq`` tuple-heap calendar,
+  retained as the differential-testing oracle and as a fallback backend
+  (``REPRO_SIM_ENGINE=heap``) while the calendar engine bakes. The audit
+  subsystem's replay-digest matrix must be digest-identical across the two.
+
+Both backends hold ``(time, seq, payload)`` entries where the payload is an
+:class:`EventHandle` for cancellable events (``at``/``after``) or a bare
 ``(fn, args)`` tuple for fire-and-forget ones (``post``/``post_at``), which
 skips one object allocation per event on the packet hot path. Cancellation
-is lazy (a cancelled handle stays in the heap and is skipped when popped),
-which is far cheaper than heap surgery for the cancel-heavy workloads that
+is lazy (a cancelled handle stays stored and is skipped when popped), which
+is far cheaper than calendar surgery for the cancel-heavy workloads that
 transport retransmission timers produce. Two counters keep the laziness
 honest:
 
-* ``pending()`` is O(1): live events = heap entries minus a running count
-  of cancelled-but-not-yet-popped entries;
-* when cancelled entries dominate the heap (``COMPACT_MIN_CANCELLED`` of
-  them and at least half the heap), the heap is compacted in place, so a
+* ``pending()`` never scans dispatch order: live events = stored entries
+  minus a running count of cancelled-but-not-yet-popped entries;
+* when cancelled entries dominate the calendar (``COMPACT_MIN_CANCELLED`` of
+  them and at least half of it), the store is compacted in place, so a
   long run with cancel-heavy timers cannot grow the calendar unboundedly.
 
 Two ordering guarantees matter for correctness elsewhere in the stack:
@@ -27,98 +38,32 @@ Two ordering guarantees matter for correctness elsewhere in the stack:
 from __future__ import annotations
 
 import heapq
+import os
 import time
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Type
+
+from repro.sim.calendar import CalendarSimulator
+from repro.sim.events import EventHandle, RepeatingEvent
+
+__all__ = [
+    "CalendarSimulator",
+    "EventHandle",
+    "HeapSimulator",
+    "RepeatingEvent",
+    "Simulator",
+    "ENGINE_BACKENDS",
+    "engine_backend",
+    "make_simulator",
+]
 
 
-class EventHandle:
-    """A scheduled event that can be cancelled before it fires."""
+class HeapSimulator:
+    """A discrete-event simulator with an integer-nanosecond clock, backed
+    by a ``heapq`` tuple heap (the pre-calendar engine, kept as oracle)."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
-
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple,
-                 sim: "Simulator"):
-        self.time = time
-        self.seq = seq
-        self.fn: Optional[Callable[..., Any]] = fn
-        self.args = args
-        self.cancelled = False
-        self._sim = sim
-
-    def cancel(self) -> None:
-        """Prevent the event from firing. Safe to call more than once,
-        including after the event has already fired (a no-op then)."""
-        if self.cancelled or self.fn is None:
-            # Already cancelled, or already fired (the dispatcher clears
-            # ``fn`` before invoking it) — nothing left to do.
-            return
-        self.cancelled = True
-        # Drop references so cancelled timers don't pin packet objects alive
-        # until the heap entry is popped.
-        self.fn = None
-        self.args = ()
-        self._sim._note_cancel()
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
-        return f"<EventHandle t={self.time} seq={self.seq} {state}>"
-
-
-class RepeatingEvent:
-    """A periodic callback rescheduled by the engine after every firing.
-
-    Created via :meth:`Simulator.every`. The first tick fires one period
-    after creation and ticks continue every ``period`` nanoseconds until
-    :meth:`cancel` is called or the (inclusive) ``until`` horizon passes.
-    Between firings exactly one calendar entry exists, so a cancelled
-    repeater leaves at most one lazily-discarded heap entry behind.
-    """
-
-    __slots__ = ("_sim", "period", "until", "_fn", "_handle", "cancelled")
-
-    def __init__(self, sim: "Simulator", period: int,
-                 fn: Callable[[], Any], until: Optional[int]) -> None:
-        if period <= 0:
-            raise ValueError(f"period must be positive, got {period}")
-        self._sim = sim
-        self.period = period
-        self.until = until
-        self._fn = fn
-        self._handle: Optional[EventHandle] = None
-        self.cancelled = False
-        self._schedule()
-
-    def _schedule(self) -> None:
-        t = self._sim.now + self.period
-        if self.until is not None and t > self.until:
-            return
-        self._handle = self._sim.at(t, self._fire)
-
-    def _fire(self) -> None:
-        self._handle = None
-        self._fn()
-        # The callback may have cancelled us; only then skip rescheduling.
-        if not self.cancelled:
-            self._schedule()
-
-    def cancel(self) -> None:
-        """Stop ticking. Safe to call more than once, including from
-        inside the callback itself."""
-        self.cancelled = True
-        if self._handle is not None:
-            self._handle.cancel()
-            self._handle = None
-
-
-class Simulator:
-    """A discrete-event simulator with an integer-nanosecond clock."""
-
-    #: between wall-clock checks, this many events run uninstrumented
+    #: between wall-clock checks, this many loop iterations run
+    #: uninstrumented (iterations, not executed events: a purge of lazily
+    #: cancelled entries must also keep feeding the watchdog)
     WALL_CHECK_INTERVAL = 4096
 
     #: compaction fires only once this many cancelled entries are buried in
@@ -321,30 +266,34 @@ class Simulator:
     def _run_guarded(self, until: Optional[int], max_events: Optional[int],
                      wall_clock_s: Optional[float]) -> int:
         executed = 0
+        iters = 0
         deadline = (time.monotonic() + wall_clock_s
                     if wall_clock_s is not None else None)
-        next_wall_check = executed + self.WALL_CHECK_INTERVAL
+        # Keyed on loop iterations, not executed events: a cancel-dominated
+        # heap spends its time in the purge branch, which executes nothing —
+        # an executed-keyed check would never fire and the run could stall
+        # past its wall budget unnoticed.
+        next_wall_check = self.WALL_CHECK_INTERVAL
         heap = self._heap
         heappop = heapq.heappop
         try:
             while heap:
                 t, _, ev = heap[0]
                 plain = type(ev) is tuple
-                if not plain and ev.fn is None:
-                    heappop(heap)
-                    self._cancelled -= 1
-                    continue
-                if until is not None and t > until:
-                    break
-                if max_events is not None and executed >= max_events:
-                    self.aborted = True
-                    self.abort_reason = (
-                        f"watchdog: {executed} events executed "
-                        f"(max_events={max_events})"
-                    )
-                    break
-                if deadline is not None and executed >= next_wall_check:
-                    next_wall_check = executed + self.WALL_CHECK_INTERVAL
+                purge = not plain and ev.fn is None
+                if not purge:
+                    if until is not None and t > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        self.aborted = True
+                        self.abort_reason = (
+                            f"watchdog: {executed} events executed "
+                            f"(max_events={max_events})"
+                        )
+                        break
+                iters += 1
+                if deadline is not None and iters >= next_wall_check:
+                    next_wall_check = iters + self.WALL_CHECK_INTERVAL
                     if time.monotonic() >= deadline:
                         self.aborted = True
                         self.abort_reason = (
@@ -352,6 +301,10 @@ class Simulator:
                             f"exhausted after {executed} events"
                         )
                         break
+                if purge:
+                    heappop(heap)
+                    self._cancelled -= 1
+                    continue
                 heappop(heap)
                 self._now = t
                 if plain:
@@ -383,3 +336,40 @@ class Simulator:
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued. O(1)."""
         return len(self._heap) - self._cancelled
+
+    def iter_pending(self) -> Iterator[Tuple[int, int, Any]]:
+        """Iterate stored ``(time, seq, event)`` entries, lazily-cancelled
+        ones included. Dispatch order is NOT implied (heap order)."""
+        return iter(self._heap)
+
+
+#: the default engine: the calendar queue
+Simulator = CalendarSimulator
+
+#: backend name -> engine class (the ``REPRO_SIM_ENGINE`` vocabulary)
+ENGINE_BACKENDS: Dict[str, Type] = {
+    "calendar": CalendarSimulator,
+    "heap": HeapSimulator,
+}
+
+
+def engine_backend(backend: Optional[str] = None) -> str:
+    """Resolve the engine backend name: the explicit argument, else the
+    ``REPRO_SIM_ENGINE`` environment variable, else ``"calendar"``."""
+    name = backend or os.environ.get("REPRO_SIM_ENGINE") or "calendar"
+    if name not in ENGINE_BACKENDS:
+        raise ValueError(
+            f"unknown engine backend {name!r}; choose from "
+            f"{sorted(ENGINE_BACKENDS)}")
+    return name
+
+
+def make_simulator(backend: Optional[str] = None):
+    """Build a simulator for ``backend`` (see :func:`engine_backend`).
+
+    The environment-variable override exists so whole execution trees —
+    including ``run_many`` worker subprocesses, which inherit the parent's
+    environment — can be flipped onto one backend, letting the audit CI run
+    its replay-digest matrix once per engine during the transition.
+    """
+    return ENGINE_BACKENDS[engine_backend(backend)]()

@@ -1,0 +1,306 @@
+"""Differential tests: the calendar engine against the heap-engine oracle.
+
+The two backends promise bit-identical scheduling semantics — same firing
+order (nondecreasing time, FIFO at equal instants via seq), same
+``pending()`` accounting, same ``peek_time()`` — so randomized scheduling
+programs are run on both and every observable is compared. The audit
+subsystem's replay-digest matrix covers the same contract end-to-end on real
+experiments; these tests cover it at the kernel surface, where shrinking a
+failure is cheap.
+
+Also home to the watchdog stalled-purge regression test (both engines): the
+wall-clock check must key on loop iterations, not executed events, or a
+cancel-dominated calendar purges forever without ever consulting the clock.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.calendar import CalendarSimulator
+from repro.sim.engine import (
+    ENGINE_BACKENDS,
+    HeapSimulator,
+    Simulator,
+    make_simulator,
+)
+
+ENGINES = [HeapSimulator, CalendarSimulator]
+#: exercise bucket-boundary behavior: one tiny-bucket and one huge-bucket
+#: calendar run alongside the default, against the same oracle
+CALENDAR_VARIANTS = [
+    CalendarSimulator,
+    lambda: CalendarSimulator(bucket_bits=2),
+    lambda: CalendarSimulator(bucket_bits=30),
+]
+
+
+def _run_program(make_sim, seed: int, n_roots: int):
+    """Interpret one randomized scheduling program; return its full trace.
+
+    The program's own random stream (``random.Random(seed)``) is consumed
+    inside event callbacks, so any dispatch-order divergence between engines
+    derails the stream and shows up as a trace mismatch immediately.
+    """
+    sim = make_sim()
+    rnd = random.Random(seed)
+    trace = []
+    cancellable = []
+    repeaters = []
+
+    def make_cb(label: str, depth: int):
+        def cb(*args):
+            trace.append((label, sim.now, args))
+            if depth >= 3:
+                return
+            choice = rnd.randrange(8)
+            d = rnd.randrange(0, 60_000)
+            if choice == 0:
+                cancellable.append(
+                    sim.after(d, make_cb(label + ".a", depth + 1)))
+            elif choice == 1:
+                sim.post(d, make_cb(label + ".p", depth + 1), label)
+            elif choice == 2:
+                sim.at(sim.now + d, make_cb(label + ".t", depth + 1))
+            elif choice == 3:
+                sim.post_at(sim.now + d, make_cb(label + ".q", depth + 1))
+            elif choice == 4 and cancellable:
+                cancellable.pop(rnd.randrange(len(cancellable))).cancel()
+            elif choice == 5:
+                period = rnd.randrange(1, 5_000)
+                rep = sim.every(period, make_cb(label + ".r", 3),
+                                until=sim.now + rnd.randrange(0, 20_000))
+                repeaters.append(rep)
+            elif choice == 6 and repeaters:
+                repeaters.pop(rnd.randrange(len(repeaters))).cancel()
+            else:
+                trace.append(("obs", sim.peek_time(), sim.pending()))
+        return cb
+
+    for i in range(n_roots):
+        d = rnd.randrange(0, 200_000)
+        kind = rnd.randrange(3)
+        if kind == 0:
+            cancellable.append(sim.after(d, make_cb(f"r{i}", 0)))
+        elif kind == 1:
+            sim.post(d, make_cb(f"r{i}", 0))
+        else:
+            sim.at(d, make_cb(f"r{i}", 0))
+    executed = sim.run()
+    trace.append(("end", sim.now, executed, sim.pending(), sim.events_run))
+    return trace
+
+
+class TestDifferentialRandomPrograms:
+    @given(seed=st.integers(0, 2**32 - 1), n_roots=st.integers(1, 25))
+    @settings(max_examples=60, deadline=None)
+    def test_full_drain_traces_identical(self, seed, n_roots):
+        oracle = _run_program(HeapSimulator, seed, n_roots)
+        for make_sim in CALENDAR_VARIANTS:
+            assert _run_program(make_sim, seed, n_roots) == oracle
+
+    @given(seed=st.integers(0, 2**32 - 1), horizon=st.integers(0, 150_000))
+    @settings(max_examples=40, deadline=None)
+    def test_run_until_traces_identical(self, seed, horizon):
+        def run(make_sim):
+            sim = make_sim()
+            rnd = random.Random(seed)
+            trace = []
+            for i in range(12):
+                t = rnd.randrange(0, 200_000)
+                sim.at(t, trace.append, (i, t))
+            executed = sim.run(until=horizon)
+            # Leftovers drain in a second call: the horizon must not have
+            # perturbed ordering of what stayed behind.
+            executed += sim.run()
+            return trace, executed, sim.now
+        oracle = run(HeapSimulator)
+        for make_sim in CALENDAR_VARIANTS:
+            assert run(make_sim) == oracle
+
+    @given(seed=st.integers(0, 2**32 - 1), max_events=st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_max_events_watchdog_identical(self, seed, max_events):
+        def run(make_sim):
+            sim = make_sim()
+            rnd = random.Random(seed)
+            trace = []
+            for i in range(30):
+                sim.post(rnd.randrange(0, 100_000), trace.append, i)
+            executed = sim.run(max_events=max_events)
+            return trace, executed, sim.aborted, sim.pending()
+        oracle = run(HeapSimulator)
+        for make_sim in CALENDAR_VARIANTS:
+            assert run(make_sim) == oracle
+
+
+class TestOrderingEdgeCases:
+    @pytest.mark.parametrize("make_sim", CALENDAR_VARIANTS)
+    def test_equal_instant_fifo_across_apis(self, make_sim):
+        """Events landing on one instant from every scheduling API fire in
+        scheduling (seq) order, matching the oracle exactly."""
+        def run(factory):
+            sim = factory()
+            trace = []
+            sim.at(500, trace.append, "at-early")
+            sim.after(500, trace.append, "after")
+            sim.post(500, trace.append, "post")
+            sim.post_at(500, trace.append, "post_at")
+            sim.at(500, trace.append, "at-late")
+            sim.at(499, trace.append, "sooner")
+            sim.run()
+            return trace
+        assert run(make_sim) == run(HeapSimulator) == [
+            "sooner", "at-early", "after", "post", "post_at", "at-late"]
+
+    @pytest.mark.parametrize("make_sim", ENGINES)
+    def test_cancel_same_instant_later_seq(self, make_sim):
+        """A callback cancelling a same-instant, later-seq event must win:
+        the victim was scheduled but not yet dispatched."""
+        sim = make_sim()
+        fired = []
+        victim = sim.at(100, fired.append, "victim")
+        sim.at(100, victim.cancel)  # earlier seq than victim? No: later.
+        sim.run()
+        # ``victim`` has the earlier seq, so it fires before the canceller.
+        assert fired == ["victim"]
+
+        sim2 = make_sim()
+        fired2 = []
+        h = [None]
+        def canceller():
+            h[0].cancel()
+        sim2.at(100, canceller)
+        h[0] = sim2.at(100, fired2.append, "victim")
+        sim2.run()
+        assert fired2 == []
+
+    @pytest.mark.parametrize("make_sim", CALENDAR_VARIANTS)
+    def test_callback_scheduling_earlier_than_stored(self, make_sim):
+        """A callback scheduling an event sooner than everything stored must
+        see it fire next (slot displacement correctness)."""
+        def run(factory):
+            sim = factory()
+            trace = []
+            def wedge():
+                sim.at(sim.now + 1, trace.append, ("wedged", sim.now + 1))
+            sim.at(10, wedge)
+            for t in (100_000, 200_000, 12):
+                sim.at(t, trace.append, ("base", t))
+            sim.run()
+            return trace
+        assert run(make_sim) == run(HeapSimulator)
+
+    @pytest.mark.parametrize("make_sim", CALENDAR_VARIANTS)
+    def test_peek_inside_callback_consistent(self, make_sim):
+        """peek_time() from inside a callback (which may force a bucket
+        advance mid-drain) must agree with the oracle."""
+        def run(factory):
+            sim = factory()
+            trace = []
+            def observer(label):
+                trace.append((label, sim.peek_time(), sim.pending()))
+            for t in (5, 70_000, 70_000, 140_000):
+                sim.at(t, observer, t)
+            sim.run()
+            return trace
+        assert run(make_sim) == run(HeapSimulator)
+
+    def test_iter_pending_covers_all_tiers(self):
+        sim = CalendarSimulator(bucket_bits=4)
+        h1 = sim.at(1, lambda: None)          # slot
+        sim.post(5, lambda: None)             # active/bucket region
+        sim.at(10_000, lambda: None)          # future bucket
+        h2 = sim.after(90_000, lambda: None)  # far-future bucket
+        h2.cancel()                           # cancelled entries included
+        entries = sorted(sim.iter_pending())
+        assert [t for t, _, _ in entries] == [1, 5, 10_000, 90_000]
+        seqs = [s for _, s, _ in entries]
+        assert seqs == sorted(seqs) == list(range(4))
+        assert sim.pending() == 3
+        assert h1.time == 1
+
+
+class TestWatchdogStalledPurge:
+    """Regression: the wall-clock watchdog must trip while purging a
+    cancel-dominated calendar, even though no event executes (the old check
+    keyed on ``executed`` and never fired)."""
+
+    @pytest.mark.parametrize("make_sim", ENGINES)
+    def test_purge_storm_trips_wall_clock(self, make_sim, monkeypatch):
+        sim = make_sim()
+        fired = []
+        # 6000 cancelled entries ahead of 7000 live ones, ratio held below
+        # the compaction trigger (6000 * 2 < 13000) so the purge loop really
+        # walks every cancelled entry one iteration at a time.
+        doomed = [sim.after(i, lambda: None) for i in range(6_000)]
+        for i in range(7_000):
+            sim.at(100_000 + i, fired.append, i)
+        for h in doomed:
+            h.cancel()
+        assert sim.pending() == 7_000
+
+        # Each monotonic() call advances 2s against a 1s budget: the very
+        # first *check* is already past the deadline. With WALL_CHECK_INTERVAL
+        # = 4096 < 6000 purge iterations, an iteration-keyed watchdog aborts
+        # before any live event runs; the old executed-keyed check would have
+        # sailed through the purge and executed thousands of events.
+        clock = [1_000.0]
+        def fake_monotonic():
+            clock[0] += 2.0
+            return clock[0]
+        engine_mod = type(sim).__module__
+        import importlib
+        monkeypatch.setattr(importlib.import_module(engine_mod).time,
+                            "monotonic", fake_monotonic)
+
+        executed = sim.run(wall_clock_s=1.0)
+        assert sim.aborted
+        assert "wall-clock" in sim.abort_reason
+        assert executed == 0
+        assert fired == []
+        # The abort left live events pending; a fresh run drains them.
+        assert sim.pending() == 7_000
+
+    @pytest.mark.parametrize("make_sim", ENGINES)
+    def test_wall_clock_not_checked_when_unarmed(self, make_sim, monkeypatch):
+        """Without wall_clock_s the guarded loop must never call the clock
+        (max_events alone arms no deadline)."""
+        sim = make_sim()
+        for i in range(10):
+            sim.post(i, lambda: None)
+        def boom():  # pragma: no cover - the assertion is that it never runs
+            raise AssertionError("monotonic called without a wall budget")
+        import importlib
+        monkeypatch.setattr(
+            importlib.import_module(type(sim).__module__).time,
+            "monotonic", boom)
+        assert sim.run(max_events=100) == 10
+
+
+class TestBackendSelection:
+    def test_default_is_calendar(self):
+        assert Simulator is CalendarSimulator
+        assert isinstance(make_simulator(), CalendarSimulator)
+
+    def test_explicit_backend(self):
+        assert isinstance(make_simulator("heap"), HeapSimulator)
+        assert isinstance(make_simulator("calendar"), CalendarSimulator)
+
+    def test_env_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "heap")
+        assert isinstance(make_simulator(), HeapSimulator)
+        # An explicit argument beats the environment.
+        assert isinstance(make_simulator("calendar"), CalendarSimulator)
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            make_simulator("splay-tree")
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "bogus")
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            make_simulator()
+
+    def test_registry_contents(self):
+        assert ENGINE_BACKENDS == {"calendar": CalendarSimulator,
+                                   "heap": HeapSimulator}

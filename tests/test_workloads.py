@@ -86,6 +86,101 @@ class TestEmpiricalCdf:
         assert WEBSEARCH._inverse(u) <= WEBSEARCH._inverse(min(u + 0.0005, 1.0))
 
 
+def _quadrature_mean(cdf: EmpiricalCdf, steps: int) -> float:
+    """Midpoint quadrature over the inverse CDF (the pre-closed-form
+    estimator, kept as the regression reference)."""
+    total = 0.0
+    for i in range(len(cdf._ys) - 1):
+        y0, y1 = cdf._ys[i], cdf._ys[i + 1]
+        if y1 == y0:
+            continue
+        for k in range(steps):
+            u = y0 + (y1 - y0) * (k + 0.5) / steps
+            total += cdf._inverse(u) * (y1 - y0) / steps
+    return total
+
+
+class TestMeanBytesClosedForm:
+    """The log-linear segment mean is exact: quadrature must converge TO it."""
+
+    @pytest.mark.parametrize("name", ["websearch", "datamining",
+                                      "cachefollower", "hadoop"])
+    def test_matches_high_resolution_quadrature(self, name):
+        cdf = workload_cdf(name)
+        exact = cdf.mean_bytes()
+        hi_res = _quadrature_mean(cdf, 20_000)
+        # 20k midpoint steps per segment: well past the old 200-step
+        # estimator, tight enough to certify the closed form.
+        assert exact == pytest.approx(hi_res, rel=1e-8)
+
+    @pytest.mark.parametrize("name", ["websearch", "datamining",
+                                      "cachefollower", "hadoop"])
+    def test_quadrature_converges_toward_closed_form(self, name):
+        """Refining the quadrature must shrink its distance to the closed
+        form — the signature of an exact value, not a third estimate."""
+        cdf = workload_cdf(name)
+        exact = cdf.mean_bytes()
+        err_coarse = abs(_quadrature_mean(cdf, 50) - exact)
+        err_fine = abs(_quadrature_mean(cdf, 2_000) - exact)
+        assert err_fine < err_coarse
+
+    @pytest.mark.parametrize("name", ["websearch", "datamining",
+                                      "cachefollower", "hadoop"])
+    def test_lambda_shift_vs_old_estimator(self, name):
+        """The offered-load fix: λ = offered / mean moves by the mean's
+        correction. The old 200-step estimate was close but systematically
+        off; the shift must be small (sanity) and nonzero (the bug was
+        real)."""
+        cdf = workload_cdf(name)
+        exact = cdf.mean_bytes()
+        old = _quadrature_mean(cdf, 200)
+        lam_ratio = old / exact  # λ_new / λ_old at fixed offered load
+        assert lam_ratio != 1.0
+        assert abs(lam_ratio - 1.0) < 1e-3
+
+    def test_arrival_rate_uses_exact_mean(self):
+        clos = small_clos()
+        rng = RngRegistry(1).stream("arrivals")
+        traffic = PoissonTraffic(clos.hosts, DATAMINING, 0.6, 10 * GBPS,
+                                 MILLIS, rng, size_scale=4.0)
+        lam = traffic.arrival_rate_per_ns()
+        mean_bits = DATAMINING.mean_bytes(4.0) * 8.0
+        expected = 0.6 * len(clos.hosts) * 10 * GBPS / mean_bits / 1e9
+        assert lam == pytest.approx(expected, rel=1e-12)
+
+
+class TestSampleManyVectorized:
+    @pytest.mark.parametrize("name", ["websearch", "datamining",
+                                      "cachefollower", "hadoop"])
+    @pytest.mark.parametrize("scale", [1.0, 4.0])
+    def test_matches_scalar_path(self, name, scale):
+        """Batch sampling must consume the identical RNG stream as the
+        scalar loop and (over this horizon) return the identical sizes."""
+        cdf = workload_cdf(name)
+        r_vec = np.random.default_rng(11)
+        r_scalar = np.random.default_rng(11)
+        batch = cdf.sample_many(r_vec, 5_000, scale=scale)
+        loop = [cdf.sample(r_scalar, scale) for _ in range(5_000)]
+        assert batch == loop
+        # Both paths must leave the generator at the same stream position.
+        assert r_vec.random() == r_scalar.random()
+
+    def test_returns_python_ints(self):
+        sizes = WEBSEARCH.sample_many(np.random.default_rng(0), 10)
+        assert all(type(s) is int for s in sizes)
+
+    def test_empty_batch(self):
+        rng = np.random.default_rng(0)
+        assert WEBSEARCH.sample_many(rng, 0) == []
+        # A zero-size batch must not consume any stream.
+        assert rng.random() == np.random.default_rng(0).random()
+
+    def test_extreme_scale_clamps_to_one(self):
+        sizes = WEBSEARCH.sample_many(np.random.default_rng(2), 100,
+                                      scale=1e12)
+        assert sizes == [1] * 100
+
+
 class TestPoissonTraffic:
     def _traffic(self, load=0.5, sim_ms=20, seed=1):
         clos = small_clos()
