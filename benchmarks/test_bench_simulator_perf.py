@@ -313,3 +313,32 @@ def test_bench_sweep_throughput(benchmark):
 
     count = benchmark.pedantic(run, rounds=1, iterations=1)
     assert count == 8
+
+
+def test_bench_clos_full(benchmark):
+    """Paper-scale Clos (192 hosts, 40 Gbps, §6.2 shape) at full load.
+
+    The headline deployment scenario at a reduced horizon: every upgraded
+    host runs credit pacing at 40 Gbps, so the credit plane — batched
+    jitter trains, handle-free pacing posts, wheel-filed watchdogs —
+    dominates the event mix rather than raw dispatch. Records the same
+    ``clos_full`` entry as ``tools/profile_sim.py --scenario clos_full``
+    (same 200 µs horizon, so the rates are directly comparable).
+    """
+    from repro.experiments.runner import run_experiment
+    from repro.experiments.scenarios import paper_scale_config
+    from repro.sim.units import MICROS
+
+    def run():
+        cfg = paper_scale_config(hosts=192, full_load=True,
+                                 sim_time_ns=200 * MICROS)
+        t0 = time.perf_counter()
+        result = run_experiment(cfg)
+        elapsed = time.perf_counter() - t0
+        assert not result.aborted, result.abort_reason
+        _record_rate("clos_full", result.events_run, elapsed, "events",
+                     n_flows=len(result.records))
+        return result.events_run
+
+    events = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert events > 0

@@ -154,6 +154,56 @@ def compare_engines(cfg, backends: Sequence[str] = ("heap", "calendar"),
     return report
 
 
+@contextlib.contextmanager
+def _credit_plane_env(plane: str):
+    """Pin ``REPRO_CREDIT_PLANE`` for the duration of one run."""
+    prev = os.environ.get("REPRO_CREDIT_PLANE")
+    os.environ["REPRO_CREDIT_PLANE"] = plane
+    try:
+        yield
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_CREDIT_PLANE", None)
+        else:
+            os.environ["REPRO_CREDIT_PLANE"] = prev
+
+
+def _run_plane(cfg, plane: str) -> "ExperimentResult":
+    with _credit_plane_env(plane):
+        return _run_local(cfg)
+
+
+def compare_credit_planes(cfg, planes: Sequence[str] = ("legacy", "wheel"),
+                          capture_on_divergence: bool = True) -> ReplayReport:
+    """Run ``cfg`` once per credit plane and compare event digests.
+
+    The acceptance oracle for the timer-wheel credit plane (DESIGN.md §6i):
+    batched jitter pre-draws, handle-free pacing posts, and wheel-filed
+    coarse timers must reproduce the legacy per-event plane's delivery
+    stream bit for bit. Same :class:`ReplayReport` shape as
+    :func:`compare_engines`, run A = ``planes[0]``, run B = ``planes[1]``.
+    """
+    if len(planes) != 2:
+        raise ValueError(f"need exactly two credit planes, got {planes!r}")
+    cfg = _audited(cfg)
+    digest_a = _digest_of(_run_plane(cfg, planes[0]))
+    digest_b = _digest_of(_run_plane(cfg, planes[1]))
+    epoch = digest_a.first_divergence(digest_b)
+    if epoch is None:
+        return ReplayReport(match=True, total_events=digest_a.total,
+                            epochs=len(digest_a.epochs))
+    report = ReplayReport(
+        match=False, total_events=digest_a.total,
+        epochs=len(digest_a.epochs), divergence_epoch=epoch,
+        divergence_time_ns=epoch * digest_a.epoch_ns,
+    )
+    if capture_on_divergence:
+        captured = _audited(cfg, capture_epoch=epoch)
+        report.events_a = _digest_of(_run_plane(captured, planes[0])).events
+        report.events_b = _digest_of(_run_plane(captured, planes[1])).events
+    return report
+
+
 def format_replay_report(report: ReplayReport) -> str:
     """Human-readable replay verdict (CLI output)."""
     if report.match:

@@ -24,11 +24,13 @@ from typing import List, Optional
 
 from repro.audit.matrix import MATRIX_SCHEMES, MATRIX_TOPOLOGIES, run_matrix
 from repro.audit.replay import (
+    compare_credit_planes,
     compare_engines,
     format_replay_report,
     replay_config,
 )
 from repro.sim.engine import ENGINE_BACKENDS
+from repro.sim.timerwheel import CREDIT_PLANES
 from repro.experiments.config import SchemeName
 from repro.metrics.telemetry import TelemetryConfig, TelemetrySeries
 from repro.experiments.figures import (
@@ -262,6 +264,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(p_run)
     _add_telemetry_args(p_run)
 
+    p_clos = sub.add_parser(
+        "clos",
+        help="paper-scale Clos deployment scenario (§6.2, Figs 10-11): "
+             "40G fabric in paper shape, unscaled flow sizes")
+    p_clos.add_argument("--hosts", type=int, default=192,
+                        help="fabric size; multiple of 24 (one paper pod)")
+    p_clos.add_argument("--full-load", action="store_true",
+                        help="run the generator at load 1.0 (paper's "
+                             "saturation operating point; default 0.5)")
+    p_clos.add_argument("--scheme", default="flexpass",
+                        choices=[s.value for s in SchemeName])
+    p_clos.add_argument("--deployment", type=float, default=1.0)
+    p_clos.add_argument("--ms", type=int, default=2, help="simulated ms")
+    p_clos.add_argument("--seed", type=int, default=1)
+
     p_audit = sub.add_parser(
         "audit", help="correctness audit: invariant matrix or replay cell")
     p_audit.add_argument(
@@ -287,6 +304,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare-engines", action="store_true",
         help="engine-equivalence matrix: run every scheme x topo cell once "
              "per engine backend and require bit-identical event digests")
+    p_audit.add_argument(
+        "--credit-plane", choices=sorted(CREDIT_PLANES), default=None,
+        help="pin the credit-plane backend for this audit (exported as "
+             "REPRO_CREDIT_PLANE so worker subprocesses inherit it)")
+    p_audit.add_argument(
+        "--compare-credit-planes", action="store_true",
+        help="credit-plane equivalence matrix: run every scheme x topo "
+             "cell once per credit plane (legacy vs wheel) and require "
+             "bit-identical event digests")
     return parser
 
 
@@ -542,9 +568,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         if res.telemetry is not None:
             _report_telemetry(res.telemetry, args.telemetry_out)
         return 0
+    if args.command == "clos":
+        return _run_clos(args)
     if args.command == "audit":
         return _run_audit(args)
     return 1  # pragma: no cover
+
+
+def _run_clos(args) -> int:
+    """The ``repro clos`` subcommand: §6.2 paper-scale deployment run."""
+    from repro.experiments.scenarios import paper_scale_config
+
+    cfg = paper_scale_config(
+        hosts=args.hosts, full_load=args.full_load,
+        scheme=SchemeName(args.scheme), sim_time_ns=args.ms * MILLIS,
+        seed=args.seed, deployment=args.deployment,
+    )
+    res = run_experiment(cfg)
+    s_all, s_small = res.fct(), res.fct(small=True)
+    ev_rate = res.events_run / res.wall_seconds if res.wall_seconds else 0.0
+    rows = [
+        ("hosts", cfg.clos.n_hosts),
+        ("load", cfg.load),
+        ("flows completed", f"{res.completed}/{len(res.records)}"),
+        ("avg FCT (ms)", s_all.avg_ms),
+        ("p99 small FCT (ms)", s_small.p99_ms),
+        ("events simulated", res.events_run),
+        ("events/sec", int(ev_rate)),
+        ("wall time (s)", res.wall_seconds),
+    ]
+    if res.aborted:
+        rows.append(("aborted", res.abort_reason))
+    print_table(
+        degraded_title(
+            f"paper-scale Clos: {cfg.scheme.value} @ "
+            f"{cfg.deployment:.0%} deployment, load {cfg.load:.0%}", res),
+        ("metric", "value"),
+        rows,
+    )
+    return 1 if res.aborted else 0
 
 
 def _run_audit(args) -> int:
@@ -558,6 +620,34 @@ def _run_audit(args) -> int:
         # Exported (not just passed down) so run_many worker subprocesses
         # audit on the same backend as the parent.
         os.environ["REPRO_SIM_ENGINE"] = args.engine
+    if args.credit_plane:
+        os.environ["REPRO_CREDIT_PLANE"] = args.credit_plane
+    if args.compare_credit_planes:
+        from repro.audit.matrix import matrix_config
+
+        failed = 0
+        rows = []
+        for topo in args.topos:
+            for scheme in args.schemes:
+                cfg = matrix_config(scheme, topo, sim_time_ns=horizon_ns,
+                                    seed=args.seed, load=args.load)
+                report = compare_credit_planes(cfg)
+                rows.append((topo, scheme,
+                             "MATCH" if report.match else "DIVERGED",
+                             report.total_events, report.epochs))
+                if not report.match:
+                    failed += 1
+                    print(f"\n{topo} x {scheme}:")
+                    print(format_replay_report(report))
+        print_table("Credit-plane digest-equivalence matrix (legacy vs wheel)",
+                    ("topology", "scheme", "digests", "events", "epochs"),
+                    rows)
+        if failed:
+            print(f"\n{failed}/{len(rows)} cells DIVERGED between "
+                  f"credit planes")
+            return 1
+        print(f"\nall {len(rows)} cells digest-identical across credit planes")
+        return 0
     if args.compare_engines:
         from repro.audit.matrix import matrix_config
 

@@ -38,6 +38,7 @@ from repro.transports.credit_feedback import CREDIT_PER_DATA, FeedbackParams
 from repro.transports.crediting import CreditPacer
 from repro.transports.sequencing import ReceiveScoreboard, SenderScoreboard
 from repro.transports.timers import RetransmitTimer, RttEstimator
+from repro.sim.timerwheel import CoarseTimer
 from repro.sim.units import GBPS, MICROS, MILLIS
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -113,7 +114,8 @@ class FlexPassSender:
         self.p_rtt = RttEstimator(min_rto_ns=params.min_rto_ns)
         self.p_timer = RetransmitTimer(sim, self.p_rtt, self._on_proactive_timeout)
         self._pmap: List[int] = []  # proactive seq -> segment idx
-        self._request_timer: Optional["EventHandle"] = None
+        # Coarse watchdog (4 ms): wheel-backed on the default credit plane.
+        self._request_timer = CoarseTimer(sim, self._request_timeout)
         self._got_credit = False
         self.done = False
         spec.src.register_sender(spec.flow_id, self)
@@ -141,12 +143,9 @@ class FlexPassSender:
             dscp=self.params.ctrl_dscp, meta=self.spec.size_bytes,
         )
         self.spec.src.send(req)
-        self._request_timer = self.sim.after(
-            self.params.request_timeout_ns, self._request_timeout
-        )
+        self._request_timer.arm(self.params.request_timeout_ns)
 
     def _request_timeout(self) -> None:
-        self._request_timer = None
         if self.done or self._got_credit:
             return
         self.stats.request_retries += 1
@@ -171,9 +170,7 @@ class FlexPassSender:
         self.stats.credits_received += 1
         if not self._got_credit:
             self._got_credit = True
-            if self._request_timer is not None:
-                self._request_timer.cancel()
-                self._request_timer = None
+            self._request_timer.cancel()
         seg, kind = self._pick_for_proactive()
         if seg is None:
             self.stats.credits_wasted += 1
@@ -348,9 +345,7 @@ class FlexPassSender:
         self.done = True
         self.r_timer.cancel()
         self.p_timer.cancel()
-        if self._request_timer is not None:
-            self._request_timer.cancel()
-            self._request_timer = None
+        self._request_timer.cancel()
         self.spec.src.unregister_sender(self.spec.flow_id)
 
 

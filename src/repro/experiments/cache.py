@@ -48,7 +48,7 @@ from repro.experiments.store import ResultStore
 
 #: Bump whenever simulation semantics change, so stale results cannot leak
 #: across PRs. ``REPRO_CACHE_SALT`` overrides (emergency invalidation).
-DEFAULT_CODE_SALT = "sim-v6"  # PR 7: burst dequeue + exact CDF means
+DEFAULT_CODE_SALT = "sim-v7"  # PR 8: deployment round-half-up + timer-wheel credit plane
 
 
 def canonicalize(value) -> object:

@@ -29,7 +29,8 @@ from repro.net.packet import Dscp
 from repro.net.queues import PacketQueue, QueueConfig
 from repro.net.ratelimit import TokenBucket
 from repro.net.scheduler import QueueSchedule
-from repro.sim.units import KB
+from repro.net.topology import ClosSpec
+from repro.sim.units import KB, MILLIS
 from repro.transports.base import CompletionCallback, FlowSpec, FlowStats
 from repro.transports.credit_feedback import CREDIT_PER_DATA, FeedbackParams
 from repro.transports.dctcp import DctcpParams, DctcpReceiver, DctcpSender
@@ -386,3 +387,38 @@ def make_scheme_setup(cfg: ExperimentConfig) -> SchemeSetup:
             scheme, homa_shared_queue_factory(), homa_launcher(cfg), legacy
         )
     raise ValueError(f"unknown scheme {scheme}")
+
+
+# --------------------------------------------------------------------------
+# Paper-scale Clos deployment scenario (§6.2, Figs 10-11)
+
+#: one §6.2 pod: 4 ToRs x 6 hosts (2 aggs ride along per pod)
+PAPER_HOSTS_PER_POD = 24
+
+
+def paper_scale_config(hosts: int = 192, full_load: bool = False,
+                       scheme: SchemeName = SchemeName.FLEXPASS,
+                       sim_time_ns: Optional[int] = None, seed: int = 1,
+                       **overrides) -> ExperimentConfig:
+    """The §6.2 Clos deployment scenario at (a fraction of) paper scale.
+
+    ``hosts`` must be a multiple of 24 — the paper pod is 4 ToRs x 6 hosts
+    with 2 aggs and 40 Gbps everywhere; ``hosts=192`` (8 pods) is the full
+    Figs 10-11 fabric. ``full_load`` runs the traffic generator at load 1.0
+    with unscaled flow sizes (the paper's saturation operating point);
+    otherwise load 0.5. Flow sizes are always unscaled (``size_scale=1``) —
+    this scenario exists to exercise the credit plane at real credit rates.
+    """
+    if hosts <= 0 or hosts % PAPER_HOSTS_PER_POD:
+        raise ValueError(
+            f"hosts must be a positive multiple of {PAPER_HOSTS_PER_POD} "
+            f"(one paper pod), got {hosts}")
+    clos = replace(ClosSpec.paper_scale(), n_pods=hosts // PAPER_HOSTS_PER_POD)
+    params = dict(
+        scheme=scheme, clos=clos, size_scale=1.0,
+        load=1.0 if full_load else 0.5,
+        sim_time_ns=2 * MILLIS if sim_time_ns is None else sim_time_ns,
+        seed=seed,
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)

@@ -46,7 +46,7 @@ class EgressPort:
                  "classifier", "link", "monitors", "dropped_unclassified",
                  "_wake_handle", "_serve_pending", "_free_at", "_tx_cache",
                  "_sched_next", "_has_backlog", "_q_unpaced", "_multi",
-                 "_batch_ok")
+                 "_batch_ok", "_buf_admit", "_buf_release", "_next_batch")
 
     #: max packets committed to the wire per serve event (burst dequeue)
     BURST = 8
@@ -82,9 +82,13 @@ class EgressPort:
         self._free_at = 0
         #: serialization delay per wire size — few distinct sizes per run
         self._tx_cache: Dict[int, int] = {}
-        #: bound-method caches; the scheduler never changes after construction
+        #: bound-method caches; the scheduler and buffer never change after
+        #: construction (link splicing swaps ``self.link``, never these)
         self._sched_next = self.scheduler.next
         self._has_backlog = self.scheduler.has_backlog
+        self._next_batch = self.scheduler.next_batch
+        self._buf_admit = buffer.try_admit
+        self._buf_release = buffer.release
         #: per-queue-index flag: eligible for cut-through (no pacer)
         self._q_unpaced = [s.pacer is None for s in schedules]
         self._multi = len(schedules) > 1
@@ -94,7 +98,7 @@ class EgressPort:
     @property
     def busy(self) -> bool:
         """True while a packet is being serialized onto the link."""
-        return self.sim.now < self._free_at
+        return self.sim._now < self._free_at
 
     # ------------------------------------------------------------------ RX
 
@@ -108,8 +112,9 @@ class EgressPort:
                 f"port {self.name}: no queue configured for DSCP {pkt.dscp}"
             )
         queue = self._queues[qidx]
+        now = self.sim._now
         if (not queue._fifo and not self._serve_pending
-                and self.sim.now >= self._free_at
+                and now >= self._free_at
                 and self._q_unpaced[qidx] and not self.monitors
                 and not (self._multi and self._has_backlog())):
             # Cut-through: idle wire, fully drained port, unpaced target
@@ -119,9 +124,9 @@ class EgressPort:
             # residence time), and with every queue empty the scheduler
             # could only have picked this packet anyway.
             return self._cut_through(qidx, queue, pkt)
-        if not queue.admit(pkt):
+        if not (queue.trivial_admit or queue.admit(pkt)):
             return False
-        if not self.buffer.try_admit(queue.byte_count, pkt.size):
+        if not self._buf_admit(queue.byte_count, pkt.size):
             queue.count_buffer_drop()
             return False
         queue.push(pkt)
@@ -131,7 +136,7 @@ class EgressPort:
             self._wake_handle.cancel()
             self._wake_handle = None
         if not self._serve_pending:
-            if self.sim.now >= self._free_at:
+            if now >= self._free_at:
                 self._serve()
             else:
                 # Wire busy with nothing scheduled at its release (the
@@ -143,7 +148,7 @@ class EgressPort:
 
     def _cut_through(self, qidx: int, queue, pkt: Packet) -> bool:
         """Admit-and-transmit for a packet meeting an idle, empty port."""
-        if not queue.admit(pkt):
+        if not (queue.trivial_admit or queue.admit(pkt)):
             return False
         size = pkt.size
         buf = self.buffer
@@ -161,7 +166,7 @@ class EgressPort:
         if txt is None:
             txt = tx_time_ns(size, self.rate_bps)
             self._tx_cache[size] = txt
-        self._free_at = self.sim.now + txt
+        self._free_at = self.sim._now + txt
         self.link.carry_after(txt, pkt)
         return True
 
@@ -172,7 +177,7 @@ class EgressPort:
         if self._wake_handle is not None:
             self._wake_handle.cancel()
             self._wake_handle = None
-        if not self._serve_pending and self.sim.now >= self._free_at:
+        if not self._serve_pending and self.sim._now >= self._free_at:
             self._serve()
 
     def _serve_event(self) -> None:
@@ -181,13 +186,13 @@ class EgressPort:
 
     def _on_wake(self) -> None:
         self._wake_handle = None
-        if not self._serve_pending and self.sim.now >= self._free_at:
+        if not self._serve_pending and self.sim._now >= self._free_at:
             self._serve()
 
     def _serve(self) -> None:
         """Start the next transmission(s). Call only when the wire is idle."""
         sim = self.sim
-        now = sim.now
+        now = sim._now
         pkt, wake = self._sched_next(now)
         if pkt is None:
             if wake is not None:
@@ -201,7 +206,7 @@ class EgressPort:
             tx_cache[size] = txt
         # The packet left its queue: its bytes stop counting against the
         # shared buffer now (the buffer limits *queued* bytes).
-        self.buffer.release(size)
+        self._buf_release(size)
         if self.monitors:
             # Exact serialization-end semantics for monitors: a dedicated
             # tx-done event fires them at the moment the wire goes idle.
@@ -221,14 +226,14 @@ class EgressPort:
             # burst start. Valid only because this port has no pacers (the
             # scheduler's pick sequence is time-independent) and no
             # monitors (no exact per-packet tx-end observers).
-            buffer = self.buffer
-            for pkt in self.scheduler.next_batch(now, self.BURST - 1):
+            buf_release = self._buf_release
+            for pkt in self._next_batch(now, self.BURST - 1):
                 size = pkt.size
                 ptxt = tx_cache.get(size)
                 if ptxt is None:
                     ptxt = tx_time_ns(size, self.rate_bps)
                     tx_cache[size] = ptxt
-                buffer.release(size)
+                buf_release(size)
                 txt += ptxt
                 link.carry_after(txt, pkt)
         self._free_at = now + txt

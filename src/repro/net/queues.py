@@ -59,7 +59,7 @@ class PacketQueue:
     """A FIFO byte queue with ECN marking and selective dropping."""
 
     __slots__ = ("config", "stats", "_fifo", "byte_count", "red_bytes",
-                 "_mark_rng", "_backlog_watcher", "_marking")
+                 "_mark_rng", "_backlog_watcher", "_marking", "trivial_admit")
 
     def __init__(self, config: QueueConfig, mark_rng=None) -> None:
         self.config = config
@@ -71,6 +71,10 @@ class PacketQueue:
         self._backlog_watcher = None
         #: precomputed so the per-push path skips a call when ECN is off
         self._marking = config.ecn_threshold_bytes is not None
+        #: with no cap and no selective threshold, admit() is identically
+        #: True — the egress port skips the call on its per-packet path
+        self.trivial_admit = (config.capacity_bytes is None
+                              and config.selective_drop_bytes is None)
 
     def set_backlog_watcher(self, watcher) -> None:
         """Register ``watcher(nonempty: bool)``, called on every transition

@@ -1,0 +1,320 @@
+"""Hierarchical timer wheel: O(1) arm/cancel for coarse, cancel-heavy timers.
+
+Credit-based transports churn two very different timer populations through
+the event engine:
+
+* **dense short-period timers** — one credit/grant emission per MTU per flow
+  (~8.4 µs at 40 Gbps). These are never cancelled in steady state; they are
+  handled by the per-host :class:`repro.transports.credit_plane.CreditPlane`
+  (handle-free ``post`` + generation guards), not by this wheel.
+* **coarse watchdog timers** — RTO-class retransmission timers (4 ms floor),
+  Homa's regrant/announce retries, credit-request timeouts. These are armed
+  and *cancelled constantly* (every ACK re-arms the retransmission timer)
+  but almost never fire. Routing them through ``Simulator.after`` costs an
+  :class:`~repro.sim.events.EventHandle` allocation plus a calendar entry
+  per arm, and the lazily-cancelled entries pressure the engine's
+  compaction machinery.
+
+The wheel absorbs the second population. Arming appends a
+:class:`WheelTimer` to a bucket list (O(1)); cancelling flips a flag (O(1),
+no engine traffic at all). The engine only hears about the wheel through
+**one meta-event per non-empty wheel tick** (``post_at`` at the tick
+boundary): when the meta-event fires it walks the due bucket, discards
+cancelled timers, re-files far-future survivors into a finer level
+(the hierarchical cascade), and ``post_at``-schedules genuinely due timers
+at their *exact* deadlines — wheel granularity never rounds a firing time.
+
+Digest equivalence (DESIGN.md §6i). Replacing ``after``-based timers with
+wheel timers removes engine entries that, in the legacy plane, consumed
+sequence numbers at arm time. Removing (or adding, for meta-events)
+sequence allocations never reorders the *remaining* events — relative
+``(time, seq)`` order is preserved whenever the relative order of
+scheduling calls is preserved — and a timer that never fires inside the
+horizon is otherwise invisible. The one residual caveat: a wheel timer
+that *does* fire gets its engine sequence number at the tick meta-event
+instead of at arm time, so a firing that ties another event at the exact
+same nanosecond may dispatch in a different relative order than the legacy
+plane. RTO-class timers fire at estimator-derived instants where such ties
+do not arise in practice, and the audit matrix (2 ms horizon, 4 ms
+timer floors) is tie-free by construction.
+
+``REPRO_CREDIT_PLANE`` selects the plane (``wheel`` is the default;
+``legacy`` keeps every timer on ``Simulator.after`` as the equivalence
+oracle); :func:`credit_plane_backend` is the one resolver, mirroring
+:func:`repro.sim.engine.engine_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: plane name -> description (the ``REPRO_CREDIT_PLANE`` vocabulary)
+CREDIT_PLANES: Tuple[str, ...] = ("wheel", "legacy")
+
+
+def credit_plane_backend(backend: Optional[str] = None) -> str:
+    """Resolve the credit-plane backend name: the explicit argument, else
+    the ``REPRO_CREDIT_PLANE`` environment variable, else ``"wheel"``."""
+    name = backend or os.environ.get("REPRO_CREDIT_PLANE") or "wheel"
+    if name not in CREDIT_PLANES:
+        raise ValueError(
+            f"unknown credit plane {name!r}; choose from "
+            f"{sorted(CREDIT_PLANES)}")
+    return name
+
+
+def wheel_enabled(backend: Optional[str] = None) -> bool:
+    """True when the timer-wheel credit plane is selected."""
+    return credit_plane_backend(backend) == "wheel"
+
+
+class WheelTimer:
+    """One pending wheel timer. Cancel is a flag flip — no engine traffic."""
+
+    __slots__ = ("deadline", "fn", "args", "cancelled")
+
+    def __init__(self, deadline: int, fn: Callable[..., Any], args: tuple) -> None:
+        self.deadline = deadline
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing. Safe to call repeatedly and after
+        the timer has fired (a no-op then)."""
+        if self.cancelled or self.fn is None:
+            return
+        self.cancelled = True
+        # Drop references so a cancelled timer doesn't pin its callback's
+        # packets/flows alive until the bucket drains.
+        self.fn = None
+        self.args = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<WheelTimer deadline={self.deadline} {state}>"
+
+
+class TimerWheel:
+    """Hierarchical timer wheel slotted onto the event engine.
+
+    Level ``L`` buckets deadlines by ``deadline >> (tick_bits + L*level_bits)``
+    — level 0 ticks are ``2**tick_bits`` ns wide, each higher level is
+    ``2**level_bits`` times coarser. A timer is filed at the coarsest level
+    whose tick still *precedes* its deadline seen from now, so one cascade
+    step per level refines it until level 0 fires it exactly. Buckets are
+    plain dict-of-list (sparse: an idle wheel stores nothing and schedules
+    nothing), and the engine carries exactly one ``post_at`` meta-event per
+    non-empty tick, guarded by a time stamp so superseded meta-events fire
+    as cheap no-ops (the engine's handle-free idiom).
+    """
+
+    #: level-0 tick width exponent: 2**16 ns = ~65.5 µs. Coarse enough that
+    #: a 4 ms RTO sits ~61 ticks out (no meta-event churn), fine enough
+    #: that a level-0 bucket holds only timers due within one tick.
+    TICK_BITS = 16
+
+    #: each level is 2**6 = 64x coarser; 3 levels span ~4.2 ms / ~268 ms /
+    #: ~17 s per tick — RTO backoff up to the 1 s max lands in level 2.
+    LEVEL_BITS = 6
+    LEVELS = 3
+
+    def __init__(self, sim, tick_bits: Optional[int] = None,
+                 level_bits: Optional[int] = None,
+                 levels: Optional[int] = None) -> None:
+        self.sim = sim
+        self._tick_bits = self.TICK_BITS if tick_bits is None else tick_bits
+        self._level_bits = self.LEVEL_BITS if level_bits is None else level_bits
+        self._levels = self.LEVELS if levels is None else levels
+        if self._tick_bits < 0 or self._level_bits < 1 or self._levels < 1:
+            raise ValueError("tick_bits >= 0, level_bits >= 1, levels >= 1")
+        #: per-level shift: deadline >> shift = bucket id at that level
+        self._shifts = [self._tick_bits + lvl * self._level_bits
+                        for lvl in range(self._levels)]
+        #: per-level bucket id -> timers (sparse)
+        self._buckets: List[Dict[int, List[WheelTimer]]] = [
+            {} for _ in range(self._levels)
+        ]
+        #: earliest meta-event currently scheduled (None = wheel idle)
+        self._meta_at: Optional[int] = None
+        self.armed_total = 0
+        self.fired_total = 0
+        self.cancelled_total = 0
+        self.cascades = 0
+
+    # ------------------------------------------------------------ registry
+
+    @classmethod
+    def for_sim(cls, sim) -> "TimerWheel":
+        """The simulator's shared wheel (created on first use)."""
+        wheel = getattr(sim, "_timer_wheel", None)
+        if wheel is None:
+            wheel = cls(sim)
+            sim._timer_wheel = wheel
+        return wheel
+
+    # ----------------------------------------------------------------- API
+
+    def arm(self, delay: int, fn: Callable[..., Any], *args: Any) -> WheelTimer:
+        """Schedule ``fn(*args)`` after ``delay`` ns; returns the timer."""
+        if delay < 0:
+            raise ValueError(f"delay must be nonnegative, got {delay}")
+        now = self.sim._now
+        deadline = now + delay
+        timer = WheelTimer(deadline, fn, args)
+        self.armed_total += 1
+        self._file(timer, now)
+        return timer
+
+    def pending(self) -> int:
+        """Live (non-cancelled) timers still filed in the wheel."""
+        return sum(
+            sum(1 for t in lst if not t.cancelled)
+            for level in self._buckets for lst in level.values()
+        )
+
+    # ------------------------------------------------------------ internal
+
+    def _file(self, timer: WheelTimer, now: int) -> None:
+        """File at the coarsest level whose current tick is still *before*
+        the timer's tick — guaranteeing the bucket's meta-event precedes the
+        deadline — falling back to the engine for same-tick deadlines."""
+        deadline = timer.deadline
+        for lvl in range(self._levels - 1, -1, -1):
+            shift = self._shifts[lvl]
+            if (deadline >> shift) > (now >> shift):
+                break
+        else:
+            lvl = -1
+        if lvl < 0:
+            # Deadline inside the current level-0 tick: the wheel cannot
+            # examine it in time, so hand it straight to the engine (its
+            # exact-deadline firing path, skipping the bucket stage).
+            self.sim.post_at(deadline, self._fire_one, timer)
+            return
+        shift = self._shifts[lvl]
+        b = deadline >> shift
+        buckets = self._buckets[lvl]
+        lst = buckets.get(b)
+        if lst is None:
+            buckets[b] = [timer]
+            # The bucket's examination instant: its first covered nanosecond
+            # (for level 0 every deadline in the bucket is >= it; for higher
+            # levels it is the cascade point).
+            self._ensure_meta(b << shift)
+        else:
+            lst.append(timer)
+
+    def _ensure_meta(self, due: int) -> None:
+        """Guarantee a meta-event at ``due`` (keeping only the earliest)."""
+        meta = self._meta_at
+        if meta is not None and meta <= due:
+            return
+        self._meta_at = due
+        self.sim.post_at(due, self._on_meta, due)
+
+    def _on_meta(self, stamp: int) -> None:
+        if stamp != self._meta_at:
+            return  # superseded by an earlier meta-event; cheap no-op
+        self._meta_at = None
+        now = self.sim._now
+        sim_post_at = self.sim.post_at
+        # Drain every bucket whose examination instant has been reached,
+        # finest level first so cascaded timers can still make this tick.
+        for lvl in range(self._levels):
+            shift = self._shifts[lvl]
+            buckets = self._buckets[lvl]
+            if not buckets:
+                continue
+            cur = now >> shift
+            due_ids = [b for b in buckets if b <= cur]
+            for b in due_ids:
+                for timer in buckets.pop(b):
+                    if timer.cancelled:
+                        self.cancelled_total += 1
+                        continue
+                    if lvl and (timer.deadline >> self._tick_bits) > (
+                            now >> self._tick_bits):
+                        # Far survivor: cascade one level down (refile picks
+                        # the right level; never this bucket again since its
+                        # tick id at this level is no longer ahead of now).
+                        self.cascades += 1
+                        self._file(timer, now)
+                    else:
+                        # Due this tick: fire at the exact deadline.
+                        sim_post_at(timer.deadline, self._fire_one, timer)
+        # Re-arm for the earliest remaining bucket across all levels.
+        nxt: Optional[int] = None
+        for lvl in range(self._levels):
+            buckets = self._buckets[lvl]
+            if buckets:
+                shift = self._shifts[lvl]
+                first = min(buckets) << shift
+                if nxt is None or first < nxt:
+                    nxt = first
+        if nxt is not None:
+            self._ensure_meta(max(nxt, now))
+
+    def _fire_one(self, timer: WheelTimer) -> None:
+        fn = timer.fn
+        if fn is None:  # cancelled between filing and firing
+            self.cancelled_total += 1
+            return
+        args = timer.args
+        timer.fn = None
+        timer.args = ()
+        self.fired_total += 1
+        fn(*args)
+
+
+class CoarseTimer:
+    """A single re-armable one-shot timer, plane-selected at construction.
+
+    The drop-in pattern shared by credit-request, announce and regrant
+    timers: ``arm(delay)`` (re)starts, ``cancel()`` stops, ``armed`` tells.
+    On the wheel plane arm/cancel never touch the engine; on the legacy
+    plane it is exactly the historical ``after`` + ``EventHandle.cancel``
+    sequence, preserved as the digest-equivalence oracle.
+    """
+
+    __slots__ = ("_sim", "_fn", "_wheel", "_timer", "_handle")
+
+    def __init__(self, sim, fn: Callable[[], Any],
+                 plane: Optional[str] = None) -> None:
+        self._sim = sim
+        self._fn = fn
+        self._wheel = TimerWheel.for_sim(sim) if wheel_enabled(plane) else None
+        self._timer: Optional[WheelTimer] = None
+        self._handle = None
+
+    @property
+    def armed(self) -> bool:
+        if self._wheel is not None:
+            return self._timer is not None
+        return self._handle is not None
+
+    def arm(self, delay: int) -> None:
+        """(Re)start the timer ``delay`` ns from now."""
+        self.cancel()
+        if self._wheel is not None:
+            self._timer = self._wheel.arm(delay, self._fire_wheel)
+        else:
+            self._handle = self._sim.after(delay, self._fire_legacy)
+
+    def cancel(self) -> None:
+        if self._wheel is not None:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+        elif self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire_wheel(self) -> None:
+        self._timer = None
+        self._fn()
+
+    def _fire_legacy(self) -> None:
+        self._handle = None
+        self._fn()

@@ -33,6 +33,7 @@ from repro.transports.base import CompletionCallback, FlowSpec, FlowStats
 from repro.transports.credit_feedback import CREDIT_PER_DATA, FeedbackParams
 from repro.transports.crediting import CreditPacer
 from repro.transports.sequencing import ReceiveScoreboard, SenderScoreboard
+from repro.sim.timerwheel import CoarseTimer
 from repro.sim.units import GBPS, MICROS, MILLIS
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -72,7 +73,8 @@ class ExpressPassSender:
         self._lost_heap: List[int] = []
         self._lost_set: Set[int] = set()
         self._acked: Set[int] = set()
-        self._request_timer: Optional["EventHandle"] = None
+        # Coarse watchdog (4 ms): wheel-backed on the default credit plane.
+        self._request_timer = CoarseTimer(sim, self._request_timeout)
         self._got_credit = False
         self.done = False
         spec.src.register_sender(spec.flow_id, self)
@@ -96,12 +98,9 @@ class ExpressPassSender:
             dscp=self.params.ctrl_dscp, meta=self.spec.size_bytes,
         )
         self.spec.src.send(req)
-        self._request_timer = self.sim.after(
-            self.params.request_timeout_ns, self._request_timeout
-        )
+        self._request_timer.arm(self.params.request_timeout_ns)
 
     def _request_timeout(self) -> None:
-        self._request_timer = None
         if self.done or self._got_credit:
             return
         self.stats.request_retries += 1
@@ -121,9 +120,7 @@ class ExpressPassSender:
         self.stats.credits_received += 1
         if not self._got_credit:
             self._got_credit = True
-            if self._request_timer is not None:
-                self._request_timer.cancel()
-                self._request_timer = None
+            self._request_timer.cancel()
         seq = self._pick_segment()
         if seq is None:
             self.stats.credits_wasted += 1
@@ -184,9 +181,7 @@ class ExpressPassSender:
 
     def _finish(self) -> None:
         self.done = True
-        if self._request_timer is not None:
-            self._request_timer.cancel()
-            self._request_timer = None
+        self._request_timer.cancel()
         self.spec.src.unregister_sender(self.spec.flow_id)
 
 

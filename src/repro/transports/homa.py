@@ -28,7 +28,9 @@ from repro.net.packet import (
     data_wire_size,
 )
 from repro.transports.base import CompletionCallback, FlowSpec, FlowStats
+from repro.transports.credit_plane import CreditPlane, wheel_enabled
 from repro.transports.sequencing import ReceiveScoreboard
+from repro.sim.timerwheel import CoarseTimer
 from repro.sim.units import GBPS, MICROS, MILLIS, SECONDS
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -60,7 +62,8 @@ class HomaSender:
         self.params = params
         self.done = False
         self._heard_from_receiver = False
-        self._announce_timer: Optional["EventHandle"] = None
+        # Coarse watchdog (4 ms): wheel-backed on the default credit plane.
+        self._announce_timer = CoarseTimer(sim, self._announce_retry)
         spec.src.register_sender(spec.flow_id, self)
 
     def start(self) -> None:
@@ -71,21 +74,16 @@ class HomaSender:
         for seq in range(unscheduled):
             self._transmit(seq, self.params.unscheduled_prio)
         self._heard_from_receiver = False
-        self._announce_timer = self.sim.after(
-            self.params.regrant_timeout_ns, self._announce_retry
-        )
+        self._announce_timer.arm(self.params.regrant_timeout_ns)
 
     def _announce_retry(self) -> None:
         """If the whole unscheduled burst was lost, the receiver never learns
         the flow exists; re-announce with segment 0 until we hear back."""
-        self._announce_timer = None
         if self.done or self._heard_from_receiver:
             return
         self.stats.request_retries += 1
         self._transmit(0, self.params.unscheduled_prio)
-        self._announce_timer = self.sim.after(
-            self.params.regrant_timeout_ns, self._announce_retry
-        )
+        self._announce_timer.arm(self.params.regrant_timeout_ns)
 
     def on_packet(self, pkt: Packet) -> None:
         if self.done:
@@ -96,9 +94,7 @@ class HomaSender:
         elif pkt.kind == PacketKind.ACK:
             # final ACK: receiver has everything
             self.done = True
-            if self._announce_timer is not None:
-                self._announce_timer.cancel()
-                self._announce_timer = None
+            self._announce_timer.cancel()
             self.spec.src.unregister_sender(self.spec.flow_id)
 
     def _transmit(self, seq: int, prio: int) -> None:
@@ -135,7 +131,15 @@ class HomaReceiver:
         self.scoreboard = ReceiveScoreboard()
         self._next_grant = (params.rtt_bytes + MSS - 1) // MSS  # after unscheduled
         self._grant_timer: Optional["EventHandle"] = None
-        self._regrant_timer: Optional["EventHandle"] = None
+        # Wheel plane: grant pacing is handle-free (post); _grant_pending
+        # replaces the legacy "_grant_timer is None" window-reopen test.
+        self._grant_pending = False
+        # The grant gap is invariant (line rate fixed): derive it once.
+        self._grant_interval = max(
+            1, int(data_wire_size(MSS) * 8 * SECONDS / params.grant_rate_bps))
+        self._regrant_timer = CoarseTimer(sim, self._regrant)
+        self._plane: Optional[CreditPlane] = (
+            CreditPlane.for_host(sim, spec.dst) if wheel_enabled() else None)
         self._complete = False
         self._started = False
         spec.dst.register_receiver(spec.flow_id, self)
@@ -151,10 +155,12 @@ class HomaReceiver:
             self.stats.duplicate_bytes += pkt.payload
         if not self._started:
             self._started = True
+            if self._plane is not None:
+                self._plane.register(self.spec.flow_id)
             self._arm_regrant()
             if self._next_grant < self.spec.n_segments:
                 self._send_grant()
-        elif fresh and self._grant_timer is None:
+        elif fresh and not self._grant_armed():
             # Window-limited granting: arrivals clock out further grants.
             self._send_grant()
         if self.scoreboard.received_count() == self.spec.n_segments:
@@ -163,10 +169,18 @@ class HomaReceiver:
     # ------------------------------------------------------------ grants
 
     def _grant_interval_ns(self) -> int:
-        wire = data_wire_size(MSS)
-        return max(1, int(wire * 8 * SECONDS / self.params.grant_rate_bps))
+        return self._grant_interval
+
+    def _grant_armed(self) -> bool:
+        if self._plane is not None:
+            return self._grant_pending
+        return self._grant_timer is not None
 
     def _send_grant(self) -> None:
+        """Synchronous grant entry (both planes); legacy timer callback."""
+        if self._plane is not None:
+            self._send_grant_wheel()
+            return
         self._grant_timer = None
         if self._complete or self._next_grant >= self.spec.n_segments:
             return
@@ -176,6 +190,19 @@ class HomaReceiver:
         self._emit_grant(self._next_grant)
         self._next_grant += 1
         self._grant_timer = self.sim.after(self._grant_interval_ns(), self._send_grant)
+
+    def _send_grant_wheel(self) -> None:
+        self._grant_pending = False
+        if self._complete or self._next_grant >= self.spec.n_segments:
+            return
+        granted_unreceived = self._next_grant - self.scoreboard.received_count()
+        if granted_unreceived * MSS >= self.params.grant_window_bytes:
+            return  # window full; the next fresh arrival re-opens it
+        self._emit_grant(self._next_grant)
+        self._next_grant += 1
+        self._plane.note_emitted()
+        self._grant_pending = True
+        self.sim.post(self._grant_interval, self._send_grant_wheel)
 
     def _emit_grant(self, seq: int) -> None:
         grant = alloc_packet(
@@ -189,15 +216,10 @@ class HomaReceiver:
     # ------------------------------------------------------ loss recovery
 
     def _arm_regrant(self) -> None:
-        if self._regrant_timer is not None:
-            self._regrant_timer.cancel()
-        self._regrant_timer = self.sim.after(
-            self.params.regrant_timeout_ns, self._regrant
-        )
+        self._regrant_timer.arm(self.params.regrant_timeout_ns)
 
     def _regrant(self) -> None:
         """No completion yet: re-request the lowest missing segment."""
-        self._regrant_timer = None
         if self._complete:
             return
         self.stats.request_retries += 1
@@ -207,10 +229,13 @@ class HomaReceiver:
     def _finish(self) -> None:
         self._complete = True
         self.stats.complete_ns = self.sim.now
-        for t in (self._grant_timer, self._regrant_timer):
-            if t is not None:
-                t.cancel()
-        self._grant_timer = self._regrant_timer = None
+        if self._grant_timer is not None:
+            self._grant_timer.cancel()
+            self._grant_timer = None
+        self._grant_pending = False
+        self._regrant_timer.cancel()
+        if self._plane is not None:
+            self._plane.unregister(self.spec.flow_id)
         # tell the sender it can forget the flow
         ack = alloc_packet(
             PacketKind.ACK, self.spec.flow_id, self.spec.dst.id, self.spec.src.id,

@@ -39,8 +39,11 @@ class PoissonTraffic:
     def __init__(self, hosts: Sequence["Host"], cdf: EmpiricalCdf, load: float,
                  rate_bps: int, sim_time_ns: int, rng: np.random.Generator,
                  size_scale: float = 1.0, first_flow_id: int = 1) -> None:
-        if not 0.0 < load < 1.0:
-            raise ValueError(f"load must be in (0,1), got {load}")
+        # load 1.0 = offered load equal to access capacity: the paper-scale
+        # full-load operating point. Open-loop lambda stays finite there,
+        # so it is a legal (if saturating) configuration.
+        if not 0.0 < load <= 1.0:
+            raise ValueError(f"load must be in (0,1], got {load}")
         if len(hosts) < 2:
             raise ValueError("need at least two hosts")
         self.hosts = list(hosts)

@@ -25,7 +25,10 @@ class DeploymentPlan:
             raise ValueError(f"deployment fraction must be in [0,1], got {fraction}")
         self.fraction = fraction
         n_racks = len(racks)
-        n_upgraded = int(round(fraction * n_racks))
+        # round-half-up, NOT round(): banker's rounding sends exact .5
+        # products to the even neighbour, deploying half a rack short
+        # (round(0.25 * 2) == 0, round(0.25 * 10) == 2 instead of 3).
+        n_upgraded = math.floor(fraction * n_racks + 0.5)
         order = list(rng.permutation(n_racks))
         self.upgraded_racks: Set[int] = set(order[:n_upgraded])
         self.upgraded_hosts: Set[int] = {

@@ -1,0 +1,250 @@
+"""Unit tests for the hierarchical timer wheel and the credit plane
+(repro.sim.timerwheel, repro.transports.credit_plane — DESIGN.md §6i)."""
+
+import random
+
+import pytest
+
+from repro.net.packet import CREDIT_WIRE_BYTES
+from repro.sim.engine import Simulator
+from repro.sim.timerwheel import (
+    CREDIT_PLANES,
+    CoarseTimer,
+    TimerWheel,
+    credit_plane_backend,
+    wheel_enabled,
+)
+from repro.sim.units import SECONDS
+from repro.transports.credit_plane import CreditPlane, CreditTrain
+
+
+# ----------------------------------------------------------- backend knob
+
+
+class TestBackendResolution:
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CREDIT_PLANE", "wheel")
+        assert credit_plane_backend("legacy") == "legacy"
+
+    def test_environment_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CREDIT_PLANE", "legacy")
+        assert credit_plane_backend() == "legacy"
+        assert not wheel_enabled()
+
+    def test_default_is_wheel(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CREDIT_PLANE", raising=False)
+        assert credit_plane_backend() == "wheel"
+        assert wheel_enabled()
+
+    def test_unknown_plane_rejected(self):
+        with pytest.raises(ValueError):
+            credit_plane_backend("bogus")
+        assert set(CREDIT_PLANES) == {"wheel", "legacy"}
+
+
+# ------------------------------------------------------------- the wheel
+
+
+class TestTimerWheel:
+    def test_fires_at_exact_deadline(self):
+        """Wheel granularity must never round a firing time — a deadline
+        mid-tick fires at that nanosecond, not at a tick boundary."""
+        sim = Simulator()
+        wheel = TimerWheel(sim)
+        fired = []
+        for delay in (123, 70_000, 65_536 * 3 + 17):
+            wheel.arm(delay, lambda d=delay: fired.append((sim.now, d)))
+        sim.run()
+        assert fired == [(123, 123), (70_000, 70_000),
+                         (65_536 * 3 + 17, 65_536 * 3 + 17)]
+
+    def test_cancel_prevents_firing_without_engine_traffic(self):
+        sim = Simulator()
+        wheel = TimerWheel(sim)
+        fired = []
+        keep = wheel.arm(200_000, fired.append, "keep")
+        drop = wheel.arm(200_001, fired.append, "drop")
+        drop.cancel()
+        drop.cancel()  # idempotent
+        assert drop.cancelled and drop.fn is None and drop.args == ()
+        assert wheel.pending() == 1
+        sim.run()
+        assert fired == ["keep"]
+        assert wheel.fired_total == 1
+        assert wheel.cancelled_total == 1
+        assert not keep.cancelled  # fired timers are not "cancelled"
+
+    def test_same_tick_deadline_bypasses_buckets(self):
+        """A deadline inside the current tick can't wait for a bucket
+        meta-event; it goes straight to the engine and still fires."""
+        sim = Simulator()
+        wheel = TimerWheel(sim)  # tick = 65_536 ns
+        fired = []
+        wheel.arm(5, fired.append, "now-ish")
+        assert wheel.pending() == 0  # not filed: handed to the engine
+        sim.run()
+        assert fired == ["now-ish"] and sim.now == 5
+
+    def test_hierarchical_cascade_preserves_exact_deadline(self):
+        """A far deadline files coarse, cascades down level by level, and
+        still fires at its exact instant."""
+        sim = Simulator()
+        wheel = TimerWheel(sim, tick_bits=4, level_bits=2, levels=3)
+        fired = []
+        # level spans: 16 ns, 64 ns, 256 ns — 1000 ns lands in level 2.
+        wheel.arm(1000, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1000]
+        assert wheel.cascades >= 1
+
+    def test_firing_order_follows_deadlines(self):
+        sim = Simulator()
+        wheel = TimerWheel(sim, tick_bits=4, level_bits=2, levels=3)
+        rng = random.Random(7)
+        delays = [rng.randrange(1, 5000) for _ in range(200)]
+        fired = []
+        for d in delays:
+            wheel.arm(d, fired.append, d)
+        sim.run()
+        assert fired == sorted(fired)
+        assert wheel.fired_total == len(delays)
+        assert wheel.pending() == 0
+
+    def test_cancel_heavy_churn_costs_no_engine_events(self):
+        """The RTO pattern: arm/cancel per packet. 500 churn cycles must
+        add zero engine events beyond the tick meta-events."""
+        sim = Simulator()
+        wheel = TimerWheel(sim)
+        for _ in range(500):
+            wheel.arm(4_000_000, lambda: pytest.fail("cancelled timer fired")
+                      ).cancel()
+        survivor = []
+        wheel.arm(4_000_123, survivor.append, True)
+        sim.run()
+        assert survivor == [True]
+        assert sim.now == 4_000_123
+        assert wheel.cancelled_total == 500
+        # every cancelled timer was purged while draining its bucket
+        assert wheel.pending() == 0
+
+    def test_for_sim_returns_shared_instance(self):
+        sim = Simulator()
+        assert TimerWheel.for_sim(sim) is TimerWheel.for_sim(sim)
+        assert TimerWheel.for_sim(Simulator()) is not TimerWheel.for_sim(sim)
+
+    def test_rejects_negative_delay_and_bad_geometry(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            TimerWheel(sim).arm(-1, lambda: None)
+        with pytest.raises(ValueError):
+            TimerWheel(sim, tick_bits=-1)
+        with pytest.raises(ValueError):
+            TimerWheel(sim, levels=0)
+
+
+# ----------------------------------------------------------- CoarseTimer
+
+
+class TestCoarseTimer:
+    @pytest.mark.parametrize("plane", ["wheel", "legacy"])
+    def test_arm_fire_rearm_cancel(self, plane):
+        sim = Simulator()
+        fired = []
+        timer = CoarseTimer(sim, lambda: fired.append(sim.now), plane=plane)
+        assert not timer.armed
+        timer.arm(100)
+        assert timer.armed
+        timer.arm(200)  # re-arm replaces the first deadline
+        sim.run()
+        assert fired == [200]
+        assert not timer.armed
+        timer.arm(300)
+        timer.cancel()
+        timer.cancel()  # idempotent
+        sim.run()
+        assert fired == [200]
+
+    def test_wheel_plane_uses_shared_wheel(self):
+        sim = Simulator()
+        timer = CoarseTimer(sim, lambda: None, plane="wheel")
+        timer.arm(1_000_000)
+        assert TimerWheel.for_sim(sim).pending() == 1
+        legacy = CoarseTimer(sim, lambda: None, plane="legacy")
+        legacy.arm(1_000_000)
+        assert TimerWheel.for_sim(sim).pending() == 1  # legacy stays off-wheel
+
+
+# ---------------------------------------------------------- credit plane
+
+
+class TestCreditTrain:
+    def test_draw_sequence_matches_scalar_oracle(self):
+        """The batched train must replay the legacy per-credit draws bit
+        for bit: same RNG, same order, same max(1, int(...)) pricing —
+        across multiple BATCH refills."""
+        seed = 1 * 2654435761 % (1 << 31)
+        train = CreditTrain(random.Random(seed))
+        oracle_rng = random.Random(seed)
+        rate = 5e9
+        base = CREDIT_WIRE_BYTES * 8 * SECONDS / rate
+        n = CreditTrain.BATCH * 2 + 7
+        got = [train.next_interval_ns(rate) for _ in range(n)]
+        want = [max(1, int(base * oracle_rng.uniform(0.5, 1.5)))
+                for _ in range(n)]
+        assert got == want
+
+    def test_rate_change_reprices_base_exactly(self):
+        seed = 42
+        train = CreditTrain(random.Random(seed))
+        oracle_rng = random.Random(seed)
+        intervals = []
+        oracle = []
+        for rate in (5e9, 5e9, 2.5e9, 2.5e9, 7.5e9):
+            intervals.append(train.next_interval_ns(rate))
+            base = CREDIT_WIRE_BYTES * 8 * SECONDS / rate
+            oracle.append(max(1, int(base * oracle_rng.uniform(0.5, 1.5))))
+        assert intervals == oracle
+        # halving the rate doubles the base: later draws are repriced
+        assert train._base_rate == 7.5e9
+
+
+class TestPlaneEquivalence:
+    def test_digest_identical_legacy_vs_wheel_on_tiny_cell(self):
+        """The PR's core proof obligation, at test scale: one audited
+        FlexPass cell replayed under both planes produces bit-identical
+        event digests (the full 15-cell matrix runs in CI via
+        ``repro audit --compare-credit-planes``)."""
+        from repro.audit.replay import compare_credit_planes
+        from tests.test_audit import audit_cfg
+
+        report = compare_credit_planes(audit_cfg())
+        assert report.match, (report.divergence_epoch, report.events_a,
+                              report.events_b)
+        assert report.total_events > 0
+
+
+class _FakeHost:
+    def __init__(self):
+        self._credit_plane = None
+
+
+class TestCreditPlane:
+    def test_for_host_is_singleton_per_host(self):
+        sim = Simulator()
+        h1, h2 = _FakeHost(), _FakeHost()
+        assert CreditPlane.for_host(sim, h1) is CreditPlane.for_host(sim, h1)
+        assert CreditPlane.for_host(sim, h1) is not CreditPlane.for_host(sim, h2)
+
+    def test_register_unregister_and_counters(self):
+        plane = CreditPlane(Simulator(), _FakeHost())
+        train = CreditTrain(random.Random(1))
+        plane.register(1, train)
+        plane.register(2)  # trainless (pHost-style) registration
+        assert plane.active == 2 and plane.registered_total == 2
+        plane.unregister(1)
+        plane.unregister(1)  # tolerant double-stop
+        plane.unregister(99)  # and stop-before-start
+        assert plane.active == 1
+        plane.note_emitted()
+        plane.note_emitted()
+        assert plane.emitted == 2

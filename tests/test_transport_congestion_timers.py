@@ -166,7 +166,7 @@ class TestRetransmitTimer:
         est = RttEstimator(min_rto_ns=4 * MILLIS)
         timer = RetransmitTimer(sim, est, lambda: None)
         timer.arm()
-        h1 = timer._handle
+        h1 = timer._handle or timer._timer  # whichever plane is active
         sim.run(until=1 * MILLIS)
         timer.arm_if_idle()
-        assert timer._handle is h1
+        assert (timer._handle or timer._timer) is h1

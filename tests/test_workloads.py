@@ -1,5 +1,7 @@
 """Unit + property tests for workload generation."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -225,7 +227,15 @@ class TestPoissonTraffic:
         with pytest.raises(ValueError):
             PoissonTraffic(clos.hosts, WEBSEARCH, 0.0, 10 * GBPS, MILLIS, rng)
         with pytest.raises(ValueError):
-            PoissonTraffic(clos.hosts, WEBSEARCH, 1.0, 10 * GBPS, MILLIS, rng)
+            PoissonTraffic(clos.hosts, WEBSEARCH, 1.01, 10 * GBPS, MILLIS, rng)
+
+    def test_full_load_is_legal(self):
+        # load 1.0 is the paper-scale saturation operating point
+        clos = small_clos()
+        rng = RngRegistry(1).stream("x")
+        traffic = PoissonTraffic(clos.hosts, WEBSEARCH, 1.0, 10 * GBPS,
+                                 MILLIS, rng)
+        assert traffic.arrival_rate_per_ns() > 0
 
     def test_core_load_factor(self):
         assert PoissonTraffic.core_load_factor(4, 2.0) == pytest.approx(1.5)
@@ -276,6 +286,13 @@ class TestIncast:
         assert min(f.flow_id for f in flows) == 1000
 
 
+class _FakeHost:
+    """Rack occupant stub: DeploymentPlan only reads ``.id``."""
+
+    def __init__(self, host_id):
+        self.id = host_id
+
+
 class TestDeploymentPlan:
     def _racks(self):
         return small_clos().racks()
@@ -317,4 +334,30 @@ class TestDeploymentPlan:
     def test_property_upgraded_rack_count(self, fraction, seed):
         racks = self._racks()
         plan = DeploymentPlan(racks, fraction, np.random.default_rng(seed))
-        assert len(plan.upgraded_racks) == int(round(fraction * len(racks)))
+        expected = math.floor(fraction * len(racks) + 0.5)
+        assert len(plan.upgraded_racks) == expected
+
+    @pytest.mark.parametrize("n_racks", [4, 8, 16])
+    @pytest.mark.parametrize("fraction", [0.25, 0.5, 0.75])
+    def test_rack_count_rounds_half_up(self, fraction, n_racks):
+        """Pin the sweep grid's upgraded-rack counts (round-half-up).
+
+        ``int(round())`` banker's-rounds exact .5 products to the even
+        neighbour; the deployment sweep must never lose half a rack."""
+        racks = [[_FakeHost(r * 100 + h) for h in range(4)]
+                 for r in range(n_racks)]
+        plan = DeploymentPlan(racks, fraction, np.random.default_rng(7))
+        assert len(plan.upgraded_racks) == math.floor(
+            fraction * n_racks + 0.5)
+        assert len(plan.upgraded_hosts) == 4 * len(plan.upgraded_racks)
+
+    def test_rack_count_half_up_beats_bankers(self):
+        # 0.25 * 2 racks = 0.5 -> one rack upgraded (round() gives 0);
+        # 0.25 * 10 racks = 2.5 -> three racks (round() gives 2)
+        racks2 = [[_FakeHost(r * 10 + h) for h in range(2)] for r in range(2)]
+        plan = DeploymentPlan(racks2, 0.25, np.random.default_rng(1))
+        assert len(plan.upgraded_racks) == 1
+        racks10 = [[_FakeHost(r * 10 + h) for h in range(2)]
+                   for r in range(10)]
+        plan = DeploymentPlan(racks10, 0.25, np.random.default_rng(1))
+        assert len(plan.upgraded_racks) == 3

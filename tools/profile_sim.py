@@ -239,6 +239,29 @@ def scenario_sweep(n_configs: int) -> dict:
             "configs_per_sec": n_configs / elapsed}
 
 
+def scenario_clos_full(horizon_us: int) -> dict:
+    """Paper-scale Clos (192 hosts, 40 Gbps, §6.2 shape) at full load.
+
+    The headline deployment scenario: every host credit-paced at 40 Gbps,
+    so the credit plane — not event dispatch — dominates. ``size`` is the
+    simulated horizon in microseconds (the fabric and load are fixed at
+    paper scale; scaling the horizon scales events near-linearly).
+    """
+    from repro.experiments.runner import run_experiment
+    from repro.experiments.scenarios import paper_scale_config
+    from repro.sim.units import MICROS
+
+    cfg = paper_scale_config(hosts=192, full_load=True,
+                             sim_time_ns=horizon_us * MICROS)
+    t0 = time.perf_counter()
+    result = run_experiment(cfg)
+    elapsed = time.perf_counter() - t0
+    assert not result.aborted, result.abort_reason
+    return {"horizon_us": horizon_us, "n_events": result.events_run,
+            "n_flows": len(result.records), "elapsed_s": elapsed,
+            "events_per_sec": result.events_run / elapsed}
+
+
 def scenario_experiment(_size: int) -> dict:
     """One full ``run_experiment`` on the default config (profiling target)."""
     from repro.experiments.config import ExperimentConfig, SchemeName
@@ -262,6 +285,7 @@ SCENARIOS = {
     "dwrr": (scenario_dwrr, "packets"),
     "pool": (scenario_pool, "packets"),
     "sweep": (scenario_sweep, "configs"),
+    "clos_full": (scenario_clos_full, "microseconds"),
     "experiment": (scenario_experiment, "events"),
 }
 
@@ -274,15 +298,16 @@ RECORD_NAMES = {
     "dwrr": "dwrr_egress",
     "pool": "packet_pool",
     "sweep": "sweep_throughput",
+    "clos_full": "clos_full",
     # "experiment" is a profiling target, not a tracked benchmark
 }
 
 QUICK_SIZES = {"dispatch": 20_000, "forwarding": 2_000, "telemetry": 2_000,
                "audit": 2_000, "dwrr": 6_000, "pool": 20_000, "sweep": 4,
-               "experiment": 1}
+               "clos_full": 50, "experiment": 1}
 FULL_SIZES = {"dispatch": 200_000, "forwarding": 20_000, "telemetry": 20_000,
               "audit": 20_000, "dwrr": 60_000, "pool": 200_000, "sweep": 16,
-              "experiment": 1}
+              "clos_full": 200, "experiment": 1}
 
 
 def run_scenario(name: str, size: int, profile: bool, top: int,
