@@ -54,7 +54,12 @@ from repro.experiments.sweep import (
     print_grid,
     queue_occupancy_study,
 )
-from repro.faults.plan import FaultPlan, LinkFailureSpec, LinkLossSpec
+from repro.faults.plan import (
+    FaultPlan,
+    LinkFailureSpec,
+    LinkLossSpec,
+    SiteFailureSpec,
+)
 from repro.metrics.summary import degraded_title, print_table
 from repro.net.topology import ClosSpec
 from repro.sim.units import MILLIS
@@ -168,17 +173,32 @@ def _base_config(args):
     return default_sweep_config(**overrides)
 
 
-def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+def _add_fault_args(parser: argparse.ArgumentParser,
+                    ontology: bool = False) -> None:
     g = parser.add_argument_group("fault injection / watchdog")
-    g.add_argument(
-        "--faults", nargs="+", metavar="SPEC", default=None,
-        help="loss specs as key=value[,key=value...]: model=bernoulli|gilbert "
-             "rate=P links=GLOB kinds=data/credit/... corrupt=0|1 "
-             "burst_start=P burst_end=P (e.g. --faults rate=0.01,kinds=data)")
+    faults_help = ("loss specs as key=value[,key=value...]: "
+                   "model=bernoulli|gilbert rate=P links=GLOB "
+                   "kinds=data/credit/... corrupt=0|1 burst_start=P "
+                   "burst_end=P (e.g. --faults rate=0.01,kinds=data)")
+    if ontology:
+        # A bare --faults (no specs) picks the fabric's first inter-region
+        # backbone link by ontology name and downs it mid-run.
+        g.add_argument("--faults", nargs="*", metavar="SPEC", default=None,
+                       help=faults_help + "; bare --faults downs the first "
+                            "inter-region backbone link mid-run")
+    else:
+        g.add_argument("--faults", nargs="+", metavar="SPEC", default=None,
+                       help=faults_help)
     g.add_argument(
         "--fault-link-down", nargs="+", action="append", default=None,
         metavar="ARG", help="A B DOWN_MS [UP_MS]: fail the A<->B link at "
                             "DOWN_MS, optionally repair at UP_MS")
+    if ontology:
+        g.add_argument(
+            "--fault-site", nargs="+", action="append", default=None,
+            metavar="ARG", help="TARGET DOWN_MS [UP_MS]: fail every link of "
+                                "an ontology group (site/region) or single "
+                                "node named TARGET")
     g.add_argument("--max-events", type=int, default=None,
                    help="watchdog: abort after this many simulated events")
     g.add_argument("--max-wall-seconds", type=float, default=None,
@@ -218,13 +238,24 @@ def _parse_link_down(values) -> LinkFailureSpec:
     return LinkFailureSpec(a=a, b=b, down_ns=down_ns, up_ns=up_ns)
 
 
+def _parse_fault_site(values) -> SiteFailureSpec:
+    if len(values) not in (2, 3):
+        raise SystemExit("--fault-site takes: TARGET DOWN_MS [UP_MS]")
+    down_ns = int(float(values[1]) * MILLIS)
+    up_ns = int(float(values[2]) * MILLIS) if len(values) == 3 else None
+    return SiteFailureSpec(target=values[0], down_ns=down_ns, up_ns=up_ns)
+
+
 def _fault_plan_from_args(args) -> Optional[FaultPlan]:
     losses = tuple(_parse_loss_spec(s) for s in (getattr(args, "faults", None) or ()))
     failures = tuple(_parse_link_down(v)
                      for v in (getattr(args, "fault_link_down", None) or ()))
-    if not losses and not failures:
+    site_failures = tuple(_parse_fault_site(v)
+                          for v in (getattr(args, "fault_site", None) or ()))
+    if not losses and not failures and not site_failures:
         return None
-    return FaultPlan(losses=losses, failures=failures)
+    return FaultPlan(losses=losses, failures=failures,
+                     site_failures=site_failures)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -278,6 +309,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_clos.add_argument("--deployment", type=float, default=1.0)
     p_clos.add_argument("--ms", type=int, default=2, help="simulated ms")
     p_clos.add_argument("--seed", type=int, default=1)
+
+    p_topo = sub.add_parser(
+        "topo",
+        help="declarative topology specs: validate, show, or run one "
+             "(YAML/JSON file or azure-style CSV directory)")
+    p_topo.add_argument("action", choices=("validate", "show", "run"),
+                        help="validate: load + strict checks; show: print "
+                             "the fabric's ontology; run: simulate a scheme "
+                             "over it")
+    p_topo.add_argument("spec", help="spec path (.yaml/.yml/.json or a "
+                                     "directory of CSV tables)")
+    p_topo.add_argument("--scheme", default="flexpass",
+                        choices=[s.value for s in SchemeName])
+    p_topo.add_argument("--deployment", type=float, default=1.0)
+    p_topo.add_argument("--load", type=float, default=0.5)
+    p_topo.add_argument("--ms", type=int, default=2, help="simulated ms")
+    p_topo.add_argument("--seed", type=int, default=1)
+    p_topo.add_argument("--workload", default="websearch")
+    p_topo.add_argument("--size-scale", type=float, default=8.0)
+    p_topo.add_argument("--locality", type=float, default=0.8,
+                        metavar="FRACTION",
+                        help="fraction of traffic kept inside the sender's "
+                             "region (-1 disables the locality matrix)")
+    p_topo.add_argument("--cache", metavar="DIR", default=".sim-cache",
+                        help="experiment cache directory ('none' disables); "
+                             "identical spec+config is served from it")
+    _add_fault_args(p_topo, ontology=True)
 
     p_audit = sub.add_parser(
         "audit", help="correctness audit: invariant matrix or replay cell")
@@ -570,9 +628,111 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "clos":
         return _run_clos(args)
+    if args.command == "topo":
+        return _run_topo(args)
     if args.command == "audit":
         return _run_audit(args)
     return 1  # pragma: no cover
+
+
+def _run_topo(args) -> int:
+    """The ``repro topo`` subcommand: validate/show/run a declarative spec."""
+    from repro.experiments.cache import ExperimentCache
+    from repro.experiments.scenarios import regional_fabric_config
+    from repro.net.fabric import TopologySpecError, load_topology_spec
+
+    try:
+        spec = load_topology_spec(args.spec)
+    except TopologySpecError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+
+    if args.action == "validate":
+        print(f"OK: {spec.name}: {len(spec.sites)} sites, "
+              f"{len(spec.hosts())} hosts, {len(spec.switches())} switches, "
+              f"{len(spec.links)} links "
+              f"({len(spec.inter_region_links())} inter-region)")
+        return 0
+
+    if args.action == "show":
+        site_rows = [(s.name, s.region or "-",
+                      sum(1 for n in spec.nodes if n.site == s.name))
+                     for s in spec.sites]
+        if site_rows:
+            print_table(f"{spec.name}: sites", ("site", "region", "nodes"),
+                        site_rows)
+        node_rows = [(n.name, n.kind, n.site or "-", n.tier)
+                     for n in spec.nodes]
+        print_table(f"{spec.name}: nodes", ("node", "kind", "site", "tier"),
+                    node_rows)
+        link_rows = [(l.label, f"{l.rate_bps / 1e9:g}G",
+                      f"{l.delay_ns / 1000:g}us", l.region or "-")
+                     for l in spec.links]
+        print_table(f"{spec.name}: links", ("link", "rate", "delay", "tag"),
+                    link_rows)
+        return 0
+
+    # action == "run"
+    faults = _fault_plan_from_args(args)
+    if faults is None and args.faults is not None:
+        # Bare --faults: down the first inter-region backbone link by its
+        # ontology name for the middle third of the run.
+        backbones = spec.inter_region_links()
+        if not backbones:
+            print("INVALID: bare --faults needs an inter-region link to "
+                  "target and the spec has none", file=sys.stderr)
+            return 1
+        link = backbones[0]
+        horizon = args.ms * MILLIS
+        faults = FaultPlan(failures=(LinkFailureSpec(
+            a=link.a, b=link.b, down_ns=horizon // 3,
+            up_ns=2 * horizon // 3),))
+        print(f"fault plan: backbone link {link.label} down "
+              f"[{horizon // 3 / 1e6:g} ms, {2 * horizon // 3 / 1e6:g} ms)")
+    cfg = regional_fabric_config(
+        spec, scheme=SchemeName(args.scheme), load=args.load,
+        sim_time_ns=args.ms * MILLIS, seed=args.seed,
+        locality_intra=None if args.locality < 0 else args.locality,
+        workload=args.workload, size_scale=args.size_scale,
+        deployment=args.deployment, faults=faults,
+        max_events=args.max_events, max_wall_seconds=args.max_wall_seconds,
+    )
+    cache = None if args.cache == "none" else ExperimentCache(args.cache)
+    res = cache.get(cfg) if cache is not None else None
+    cached = res is not None
+    if cached:
+        print(f"served from experiment cache ({cache.describe()})")
+    else:
+        res = run_experiment(cfg)
+        if cache is not None and cache.put(cfg, res):
+            print(f"cached result in {cache.describe()}")
+    s_all, s_small = res.fct(), res.fct(small=True)
+    rows = [
+        ("fabric", f"{spec.name}: {len(spec.hosts())} hosts / "
+                   f"{len(spec.links)} links"),
+        ("flows completed", f"{res.completed}/{len(res.records)}"),
+        ("avg FCT (ms)", s_all.avg_ms),
+        ("p99 small FCT (ms)", s_small.p99_ms),
+        ("timeouts", res.total_timeouts),
+        ("events simulated", res.events_run),
+        ("wall time (s)", res.wall_seconds),
+    ]
+    fc = res.fault_counters
+    if fc.any_faults:
+        rows += [
+            ("link-down losses",
+             fc.discarded_in_flight + fc.dropped_link_down),
+            ("reroutes", fc.reroutes),
+        ]
+    if res.aborted:
+        rows.append(("aborted", res.abort_reason))
+    print_table(
+        degraded_title(
+            f"{spec.name}: {cfg.scheme.value} @ load {cfg.load:.0%}", res),
+        ("metric", "value"),
+        rows,
+    )
+    return 1 if res.aborted else 0
 
 
 def _run_clos(args) -> int:

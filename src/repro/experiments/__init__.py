@@ -28,7 +28,13 @@ from repro.experiments.fabric import (
 )
 from repro.experiments.parallel import FailedResult, run_many
 from repro.experiments.runner import ExperimentResult, run_experiment
-from repro.experiments.scenarios import SchemeSetup, make_scheme_setup
+from repro.experiments.scenarios import (
+    SchemeSetup,
+    build_topology,
+    make_scheme_setup,
+    regional_fabric_config,
+    run_regional_fabric,
+)
 from repro.experiments.store import ResultStore, SqliteStore, open_store
 from repro.metrics.telemetry import TelemetryConfig, TelemetrySeries
 
@@ -43,7 +49,10 @@ __all__ = [
     "run_experiment",
     "run_many",
     "SchemeSetup",
+    "build_topology",
     "make_scheme_setup",
+    "regional_fabric_config",
+    "run_regional_fabric",
     "CompletionReport",
     "FabricConfig",
     "SweepFabric",

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.net.fabric.spec import TopologySpec
 
 from repro.audit.config import AuditConfig
 from repro.faults.plan import FaultPlan
@@ -77,6 +80,12 @@ class ExperimentConfig:
     sim_time_ns: int = 60 * MILLIS
     seed: int = 1
     clos: ClosSpec = field(default_factory=ClosSpec)
+    #: declarative fabric (overrides ``clos`` when set); content-hashes into
+    #: the cache key like every other field. See :mod:`repro.net.fabric`.
+    topology_spec: Optional["TopologySpec"] = None
+    #: locality matrix for declarative fabrics: fraction of traffic kept
+    #: within the sender's region (None = uniform all-to-all)
+    locality_intra: Optional[float] = None
     queues: QueueSettings = field(default_factory=QueueSettings)
     #: divide workload flow sizes by this factor (keeps flow *count* high at
     #: Python-simulation scale; the small-flow FCT cutoff scales with it)
@@ -98,6 +107,18 @@ class ExperimentConfig:
 
     def scaled_cutoff_bytes(self) -> int:
         return max(1, int(self.small_flow_cutoff_bytes / self.size_scale))
+
+    @property
+    def reference_rate_bps(self) -> int:
+        """Host access rate the scheme parameters are derived from.
+
+        Equals ``clos.rate_bps`` for the enum-named topologies (keeping
+        their audit digests unchanged); declarative fabrics derive it from
+        their host access links.
+        """
+        if self.topology_spec is not None:
+            return self.topology_spec.access_rate_bps()
+        return self.clos.rate_bps
 
     @classmethod
     def paper_scale(cls, **overrides) -> "ExperimentConfig":

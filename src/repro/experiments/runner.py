@@ -14,7 +14,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.audit.invariants import AuditReport, InvariantAuditor
 from repro.experiments.config import ExperimentConfig, SchemeName
-from repro.experiments.scenarios import SchemeSetup, make_scheme_setup
+from repro.experiments.scenarios import (
+    SchemeSetup,
+    build_topology,
+    make_scheme_setup,
+)
 from repro.faults.counters import FaultCounters
 from repro.metrics.fct import FctSummary, FlowRecord, summarize
 from repro.metrics.telemetry import (
@@ -22,11 +26,15 @@ from repro.metrics.telemetry import (
     TelemetrySampler,
     TelemetrySeries,
 )
-from repro.net.topology import Clos, build_clos
+from repro.net.topology import Clos
 from repro.sim.engine import make_simulator
 from repro.sim.rng import RngRegistry
 from repro.transports.base import FlowSpec, FlowStats
-from repro.workloads.arrivals import PoissonTraffic, TrafficSpec
+from repro.workloads.arrivals import (
+    GroupedPoissonTraffic,
+    PoissonTraffic,
+    TrafficSpec,
+)
 from repro.workloads.deployment import DeploymentPlan
 from repro.workloads.distributions import workload_cdf
 from repro.workloads.incast import IncastTraffic
@@ -90,13 +98,22 @@ def build_flow_specs(cfg: ExperimentConfig, clos: Clos,
     deployment = 0.0 if cfg.scheme == SchemeName.DCTCP else cfg.deployment
     plan = DeploymentPlan(clos.racks(), deployment, rng.stream("deployment"))
     cdf = workload_cdf(cfg.workload)
-    traffic = PoissonTraffic(
-        clos.hosts, cdf, cfg.load, cfg.clos.rate_bps, cfg.sim_time_ns,
-        rng.stream("arrivals"), size_scale=cfg.size_scale,
-    )
+    rate_bps = cfg.reference_rate_bps
+    groups = _locality_groups(cfg, clos)
+    if groups is not None:
+        traffic: PoissonTraffic = GroupedPoissonTraffic(
+            groups, cdf, cfg.load, rate_bps, cfg.sim_time_ns,
+            rng.stream("arrivals"), intra_fraction=cfg.locality_intra,
+            size_scale=cfg.size_scale,
+        )
+    else:
+        traffic = PoissonTraffic(
+            clos.hosts, cdf, cfg.load, rate_bps, cfg.sim_time_ns,
+            rng.stream("arrivals"), size_scale=cfg.size_scale,
+        )
     raw: List[TrafficSpec] = traffic.generate()
     if cfg.foreground_fraction > 0:
-        bg_bytes_per_ns = cfg.load * len(clos.hosts) * cfg.clos.rate_bps / 8 / 1e9
+        bg_bytes_per_ns = cfg.load * len(clos.hosts) * rate_bps / 8 / 1e9
         incast = IncastTraffic(
             clos.hosts, cfg.foreground_request_bytes, flows_per_sender=4,
             background_bytes_per_ns=bg_bytes_per_ns,
@@ -116,6 +133,23 @@ def build_flow_specs(cfg: ExperimentConfig, clos: Clos,
     return specs, plan
 
 
+def _locality_groups(cfg: ExperimentConfig, clos) -> Optional[List[List]]:
+    """Host groups for the locality matrix, or None for uniform traffic.
+
+    Declarative fabrics group by region (falling back to racks when the
+    spec has no regions); the hand-built topologies group by rack.
+    """
+    if cfg.locality_intra is None:
+        return None
+    groups: List[List] = []
+    if hasattr(clos, "hosts_by_region"):
+        by_region = clos.hosts_by_region()
+        groups = [members for _, members in sorted(by_region.items())]
+    if len(groups) < 2:
+        groups = clos.racks()
+    return groups
+
+
 def run_experiment(cfg: ExperimentConfig,
                    sample_q1: bool = False) -> ExperimentResult:
     """Run one full simulation and collect results."""
@@ -125,7 +159,7 @@ def run_experiment(cfg: ExperimentConfig,
     sim = make_simulator()
     rng = RngRegistry(cfg.seed)
     setup = make_scheme_setup(cfg)
-    clos = build_clos(sim, setup.queue_factory, cfg.clos)
+    clos = build_topology(sim, setup.queue_factory, cfg)
     specs, _plan = build_flow_specs(cfg, clos, rng)
 
     fault_counters = FaultCounters()

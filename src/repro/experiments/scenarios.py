@@ -266,7 +266,7 @@ def expresspass_launcher(cfg: ExperimentConfig, credit_fraction: float,
     """ExpressPass endpoints credit-limited to ``credit_fraction`` of the
     line rate; ``shared_queue`` remaps data/control DSCPs for configs where
     new-transport traffic shares the legacy data queue."""
-    rate = cfg.clos.rate_bps
+    rate = cfg.reference_rate_bps
 
     def launch(sim, spec, stats, on_complete):
         params = ExpressPassParams(
@@ -289,7 +289,7 @@ def expresspass_launcher(cfg: ExperimentConfig, credit_fraction: float,
 
 def layering_launcher(cfg: ExperimentConfig):
     """ExpressPass+ window-overlay endpoints (the Layering scheme [45])."""
-    rate = cfg.clos.rate_bps
+    rate = cfg.reference_rate_bps
 
     def launch(sim, spec, stats, on_complete):
         params = LayeringParams(
@@ -304,7 +304,7 @@ def layering_launcher(cfg: ExperimentConfig):
 
 def flexpass_params_for(cfg: ExperimentConfig) -> FlexPassParams:
     return FlexPassParams(
-        max_credit_rate_bps=cfg.clos.rate_bps * cfg.queues.wq * CREDIT_PER_DATA,
+        max_credit_rate_bps=cfg.reference_rate_bps * cfg.queues.wq * CREDIT_PER_DATA,
         update_period_ns=cfg.update_period_ns,
     )
 
@@ -330,7 +330,7 @@ def flexpass_launcher(cfg: ExperimentConfig, variant: str = ""):
 def homa_launcher(cfg: ExperimentConfig):
     """Receiver-driven Homa endpoints granting at the full line rate
     (the Figure 1(b) baseline: no awareness of coexisting legacy traffic)."""
-    rate = cfg.clos.rate_bps
+    rate = cfg.reference_rate_bps
 
     def launch(sim, spec, stats, on_complete):
         params = HomaParams(grant_rate_bps=rate, grant_prio=0,
@@ -387,6 +387,56 @@ def make_scheme_setup(cfg: ExperimentConfig) -> SchemeSetup:
             scheme, homa_shared_queue_factory(), homa_launcher(cfg), legacy
         )
     raise ValueError(f"unknown scheme {scheme}")
+
+
+def build_topology(sim, make_queues, cfg: ExperimentConfig):
+    """Resolve the config's fabric through the topology registry.
+
+    A declarative ``cfg.topology_spec`` builds the "fabric" kind; otherwise
+    the classic "clos" kind builds from ``cfg.clos``. Either way the handle
+    duck-types :class:`repro.net.topology.Clos` for the runner.
+    """
+    from repro.net.topology import build
+
+    if cfg.topology_spec is not None:
+        return build("fabric", sim, make_queues, cfg.topology_spec)
+    return build("clos", sim, make_queues, cfg.clos)
+
+
+# --------------------------------------------------------------------------
+# Regional declarative fabrics (multi-DC what-if studies)
+
+
+def regional_fabric_config(spec, scheme: SchemeName = SchemeName.FLEXPASS,
+                           load: float = 0.5, sim_time_ns: int = 2 * MILLIS,
+                           seed: int = 1,
+                           locality_intra: Optional[float] = 0.8,
+                           **overrides) -> ExperimentConfig:
+    """Config for any scheme over a declarative :class:`TopologySpec`.
+
+    ``spec`` is a TopologySpec or a path to a YAML/JSON file or CSV
+    directory. ``locality_intra`` keeps that fraction of traffic inside the
+    sender's region (WAN backbones carry the rest); None is uniform
+    all-to-all.
+    """
+    from repro.net.fabric import TopologySpec, load_topology_spec
+
+    if not isinstance(spec, TopologySpec):
+        spec = load_topology_spec(spec)
+    spec.validate()
+    params = dict(
+        scheme=SchemeName(scheme), topology_spec=spec, load=load,
+        sim_time_ns=sim_time_ns, seed=seed, locality_intra=locality_intra,
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+def run_regional_fabric(spec, **kwargs):
+    """Build a regional-fabric config and run it (convenience launcher)."""
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment(regional_fabric_config(spec, **kwargs))
 
 
 # --------------------------------------------------------------------------

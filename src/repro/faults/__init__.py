@@ -31,7 +31,13 @@ from repro.faults.models import (
     PredicateLoss,
     kinds_from_names,
 )
-from repro.faults.plan import FaultInjector, FaultPlan, LinkFailureSpec, LinkLossSpec
+from repro.faults.plan import (
+    FaultInjector,
+    FaultPlan,
+    LinkFailureSpec,
+    LinkLossSpec,
+    SiteFailureSpec,
+)
 
 __all__ = [
     "BernoulliLoss",
@@ -49,6 +55,7 @@ __all__ = [
     "LossModel",
     "LossyLink",
     "PredicateLoss",
+    "SiteFailureSpec",
     "kinds_from_names",
     "schedule_failure_events",
     "splice",

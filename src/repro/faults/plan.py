@@ -96,17 +96,73 @@ class LinkFailureSpec:
 
 
 @dataclass(frozen=True)
+class SiteFailureSpec:
+    """Every link incident to an ontology group — or one named node —
+    fails at ``down_ns`` (optionally recovering at ``up_ns``).
+
+    ``target`` names a group published on ``Topology.node_groups`` by the
+    declarative fabric builder ("site:DC-SYD-01", "region:NSW"; the bare
+    site/region name also resolves), or any single node. Expansion needs
+    the built topology, so :meth:`events` takes it — unknown targets fail
+    at setup, matching the rest of the fault machinery.
+    """
+
+    target: str
+    down_ns: int
+    up_ns: Optional[int] = None
+
+    def _member_names(self, topo: "Topology") -> Tuple[str, ...]:
+        groups = topo.node_groups
+        for key in (self.target, f"site:{self.target}",
+                    f"region:{self.target}"):
+            if key in groups:
+                return groups[key]
+        try:
+            return (topo.node_by_name(self.target).name,)
+        except KeyError:
+            known = ", ".join(sorted(groups)) or "none"
+            raise ValueError(
+                f"site failure target {self.target!r} is neither a node "
+                f"nor a topology group (groups: {known})") from None
+
+    def events(self, topo: "Topology") -> List[object]:
+        if self.up_ns is not None and self.up_ns <= self.down_ns:
+            raise ValueError(
+                f"site {self.target!r}: up_ns {self.up_ns} must be after "
+                f"down_ns {self.down_ns}")
+        members = set(self._member_names(topo))
+        events: List[object] = []
+        seen = set()
+        for name in sorted(members):
+            node = topo.node_by_name(name)
+            for peer in topo.neighbors(node):
+                edge = (min(name, peer.name), max(name, peer.name))
+                if edge in seen:
+                    continue
+                seen.add(edge)
+                events.append(LinkDownEvent(self.down_ns, edge[0], edge[1]))
+                if self.up_ns is not None:
+                    events.append(LinkUpEvent(self.up_ns, edge[0], edge[1]))
+        if not events:
+            raise ValueError(
+                f"site failure target {self.target!r} has no incident links")
+        return events
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything the fault subsystem will do to one run."""
 
     losses: Tuple[LinkLossSpec, ...] = ()
     failures: Tuple[LinkFailureSpec, ...] = ()
+    #: whole-site/region (or single-node) outages, by ontology name
+    site_failures: Tuple[SiteFailureSpec, ...] = ()
     #: RngRegistry stream-name prefix (change to decorrelate two plans)
     stream_prefix: str = "faults"
 
     @property
     def empty(self) -> bool:
-        return not self.losses and not self.failures
+        return not self.losses and not self.failures and not self.site_failures
 
     def apply(self, sim: "Simulator", topo: "Topology",
               rng: "RngRegistry") -> "FaultInjector":
@@ -135,6 +191,8 @@ class FaultPlan:
         events: List[object] = []
         for failure in self.failures:
             events.extend(failure.events())
+        for site_failure in self.site_failures:
+            events.extend(site_failure.events(topo))
         schedule_failure_events(sim, topo, events, counters)
         return FaultInjector(plan=self, counters=counters, links=spliced)
 

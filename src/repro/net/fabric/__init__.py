@@ -1,0 +1,36 @@
+"""Declarative topology ingestion: the ontology, loaders, and builder.
+
+Importing this package registers the "fabric" topology kind, so
+``repro.net.topology.build("fabric", sim, make_queues, spec)`` works — the
+registry also imports it lazily on first use of that kind.
+"""
+
+from repro.net.fabric.build import FabricHandle, build_from_spec, clos_to_topology_spec
+from repro.net.fabric.spec import (
+    LinkSpec,
+    NodeSpec,
+    SiteSpec,
+    TopologySpec,
+    TopologySpecError,
+    load_topology_spec,
+    parse_delay_ns,
+    parse_rate_bps,
+)
+from repro.net.topology import register_topology
+
+__all__ = [
+    "FabricHandle",
+    "LinkSpec",
+    "NodeSpec",
+    "SiteSpec",
+    "TopologySpec",
+    "TopologySpecError",
+    "build_from_spec",
+    "clos_to_topology_spec",
+    "load_topology_spec",
+    "parse_delay_ns",
+    "parse_rate_bps",
+]
+
+# replace=True keeps importlib.reload / repeated imports idempotent.
+register_topology("fabric", TopologySpec, build_from_spec, replace=True)

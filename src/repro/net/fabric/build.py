@@ -1,0 +1,205 @@
+"""Instantiate a :class:`TopologySpec` into a wired, routed fabric.
+
+``build_from_spec`` reuses the exact ``Topology.add_host / add_switch /
+connect`` machinery the hand-written builders use, so a Clos expressed as a
+spec (see :func:`clos_to_topology_spec`) creates nodes in the same order,
+gets the same node ids, and therefore reproduces the hand-built audit
+digests bit for bit.
+
+The returned :class:`FabricHandle` duck-types :class:`repro.net.topology.Clos`
+where the experiment runner needs it (``topo``, ``hosts``, ``racks()``,
+``rack_of``, ``tor_uplinks()``) and adds ontology lookups: named nodes,
+inter-region backbone links, and site/region groupings for locality-aware
+workloads and fault plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.fabric.spec import LinkSpec, NodeSpec, SiteSpec, TopologySpec
+from repro.net.host import Host
+from repro.net.port import EgressPort
+from repro.net.switch import Switch
+from repro.net.topology import ClosSpec, QueueFactory, Topology
+from repro.sim.engine import Simulator
+
+__all__ = ["FabricHandle", "build_from_spec", "clos_to_topology_spec"]
+
+
+@dataclass
+class FabricHandle:
+    """A built declarative fabric with ontology-aware lookups."""
+
+    topo: Topology
+    spec: TopologySpec
+    _racks: List[List[Host]] = field(default_factory=list)
+    _rack_tors: List[Switch] = field(default_factory=list)
+    _rack_index: Dict[int, int] = field(default_factory=dict)  # host id -> rack
+
+    # ------------------------------------------------ runner duck-typing
+
+    @property
+    def hosts(self) -> List[Host]:
+        return self.topo.hosts
+
+    def racks(self) -> List[List[Host]]:
+        """Hosts grouped by their access switch, in switch-creation order."""
+        return self._racks
+
+    def rack_of(self, host: Host) -> int:
+        try:
+            return self._rack_index[host.id]
+        except KeyError:
+            raise ValueError(f"host {host.name} not in any rack") from None
+
+    def tor_uplinks(self) -> List[EgressPort]:
+        """Access-switch -> upstream-switch ports (core-load taps)."""
+        ports = []
+        for tor in self._rack_tors:
+            for peer in self.topo.neighbors(tor):
+                if isinstance(peer, Switch):
+                    ports.append(self.topo.port(tor, peer))
+        return ports
+
+    # -------------------------------------------------- ontology lookups
+
+    def node(self, name: str):
+        return self.topo.node_by_name(name)
+
+    def site_of(self, name: str) -> str:
+        return self.spec.site_of(name)
+
+    def region_of(self, name: str) -> str:
+        return self.spec.region_of(name)
+
+    def inter_region_links(self) -> Tuple[LinkSpec, ...]:
+        return self.spec.inter_region_links()
+
+    def hosts_by_region(self) -> Dict[str, List[Host]]:
+        """Region -> hosts, in host-creation order (regionless under '')."""
+        out: Dict[str, List[Host]] = {}
+        for node in self.spec.nodes:
+            if node.kind != "host":
+                continue
+            region = self.spec.region_of_site(node.site)
+            out.setdefault(region, []).append(self.topo.node_by_name(node.name))
+        return out
+
+    @property
+    def access_rate_bps(self) -> int:
+        return self.spec.access_rate_bps()
+
+
+def build_from_spec(
+    sim: Simulator, make_queues: QueueFactory, spec: Optional[TopologySpec] = None
+) -> FabricHandle:
+    """Wire up a validated :class:`TopologySpec` and compute routes.
+
+    Nodes are created in spec order (node ids — and hence audit digests and
+    ECMP hashes — follow the spec), switches get ``ecmp_salt`` from their
+    tier, and site/region groupings are published on
+    ``Topology.node_groups`` so fault plans can address whole sites.
+    """
+    if spec is None:
+        raise ValueError("build_from_spec requires an explicit TopologySpec")
+    spec.validate()
+    topo = Topology(sim, make_queues)
+    for node in spec.nodes:
+        if node.kind == "host":
+            topo.add_host(node.name)
+        else:
+            sw = topo.add_switch(node.name, node.buffer_bytes, node.buffer_alpha)
+            if node.tier:
+                sw.ecmp_salt = node.tier
+    for link in spec.links:
+        topo.connect(topo.node_by_name(link.a), topo.node_by_name(link.b),
+                     link.rate_bps, link.delay_ns)
+    topo.finalize()
+
+    # Site/region groups for ontology-addressed fault plans.
+    by_site: Dict[str, List[str]] = {}
+    by_region: Dict[str, List[str]] = {}
+    for node in spec.nodes:
+        if node.site:
+            by_site.setdefault(node.site, []).append(node.name)
+            region = spec.region_of_site(node.site)
+            if region:
+                by_region.setdefault(region, []).append(node.name)
+    for site, members in by_site.items():
+        topo.node_groups[f"site:{site}"] = tuple(members)
+    for region, members in by_region.items():
+        topo.node_groups[f"region:{region}"] = tuple(members)
+
+    handle = FabricHandle(topo, spec)
+    _index_racks(handle)
+    return handle
+
+
+def _index_racks(handle: FabricHandle) -> None:
+    """Group hosts under their access switch, ordered by switch id.
+
+    Matches ``Clos.racks()`` (which sorts ``hosts_by_tor`` by ToR id) so a
+    Clos-shaped spec yields identical rack ordering for deployment plans.
+    """
+    topo = handle.topo
+    by_tor: Dict[int, List[Host]] = {}
+    tor_by_id: Dict[int, Switch] = {}
+    for host in topo.hosts:
+        access = [p for p in topo.neighbors(host) if isinstance(p, Switch)]
+        if not access:
+            continue  # isolated host: validated specs can't produce this
+        tor = access[0]
+        by_tor.setdefault(tor.id, []).append(host)
+        tor_by_id[tor.id] = tor
+    for tor_id in sorted(by_tor):
+        rack_idx = len(handle._racks)
+        handle._racks.append(by_tor[tor_id])
+        handle._rack_tors.append(tor_by_id[tor_id])
+        for host in by_tor[tor_id]:
+            handle._rack_index[host.id] = rack_idx
+
+
+def clos_to_topology_spec(clos: ClosSpec, name: str = "clos") -> TopologySpec:
+    """Express a :class:`ClosSpec` as a declarative spec.
+
+    Node emission order mirrors ``build_clos`` exactly — cores first, then
+    per pod: aggs, ToRs, then each ToR's hosts — so ``build_from_spec``
+    assigns identical node ids and the fabrics are digest-equivalent.
+    """
+    nodes: List[NodeSpec] = []
+    links: List[LinkSpec] = []
+    n_cores = clos.aggs_per_pod * clos.cores_per_group
+
+    def switch(sw_name: str, tier: int) -> None:
+        nodes.append(NodeSpec(name=sw_name, kind="switch", tier=tier,
+                              buffer_bytes=clos.buffer_bytes,
+                              buffer_alpha=clos.buffer_alpha))
+
+    for c in range(n_cores):
+        switch(f"core{c}", tier=3)
+    host_delay = clos.link_delay_ns + clos.host_delay_ns
+    for p in range(clos.n_pods):
+        for a in range(clos.aggs_per_pod):
+            switch(f"agg{p}.{a}", tier=2)
+        for t in range(clos.tors_per_pod):
+            switch(f"tor{p}.{t}", tier=1)
+        for a in range(clos.aggs_per_pod):
+            for g in range(clos.cores_per_group):
+                links.append(LinkSpec(
+                    a=f"agg{p}.{a}", b=f"core{a * clos.cores_per_group + g}",
+                    rate_bps=clos.rate_bps, delay_ns=clos.link_delay_ns))
+        for t in range(clos.tors_per_pod):
+            for a in range(clos.aggs_per_pod):
+                links.append(LinkSpec(
+                    a=f"tor{p}.{t}", b=f"agg{p}.{a}",
+                    rate_bps=clos.rate_bps, delay_ns=clos.link_delay_ns))
+            for h in range(clos.hosts_per_tor):
+                host_name = f"h{p}.{t}.{h}"
+                nodes.append(NodeSpec(name=host_name, kind="host"))
+                links.append(LinkSpec(
+                    a=host_name, b=f"tor{p}.{t}",
+                    rate_bps=clos.rate_bps, delay_ns=host_delay))
+    return TopologySpec(name=name, nodes=tuple(nodes),
+                        links=tuple(links)).validate()

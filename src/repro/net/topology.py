@@ -6,12 +6,19 @@ queue, Homa eight priorities, …), so builders take a ``make_queues`` factory
 provided by :mod:`repro.experiments.scenarios` and apply it uniformly to
 every port — host NICs included, per the paper's "the NIC is a special type
 of edge switch" deployment note.
+
+Builders are looked up through a **registry** keyed by topology kind
+(:func:`register_topology` / :func:`build`): the classic shapes register
+here ("dumbbell", "star", "clos"), and the declarative ontology loader
+(:mod:`repro.net.fabric`) registers as just another kind ("fabric"), so
+scenario code resolves every fabric the same way.
 """
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple, Type
 
 from repro.net.buffering import SharedBuffer, UnlimitedBuffer
 from repro.net.host import Host
@@ -43,6 +50,12 @@ class Topology:
         self._finalized = False
         #: route recomputations after finalize() (fault injection reroutes)
         self.route_recomputes = 0
+        #: name -> node, maintained at registration (duplicates rejected)
+        self._nodes_by_name: Dict[str, Node] = {}
+        #: ontology group -> member node names ("site:DC-SYD-01",
+        #: "region:NSW", "rack:r0"); populated by the fabric builder so
+        #: fault plans can address whole sites/regions by name.
+        self.node_groups: Dict[str, Tuple[str, ...]] = {}
 
     # ------------------------------------------------------------ building
 
@@ -115,12 +128,18 @@ class Topology:
         return src.ports[dst.id]
 
     def node_by_name(self, name: str) -> Node:
-        """Look up a node by its human name (fault plans address links
-        as name pairs so plans stay picklable and topology-independent)."""
-        for node in self.nodes.values():
-            if node.name == name:
-                return node
-        raise KeyError(f"no node named {name!r}")
+        """Look up a node by its human name (fault plans and the ontology
+        address elements by name so plans stay picklable and
+        topology-independent). O(1): the name index is maintained at
+        registration time and duplicate names are rejected there."""
+        try:
+            return self._nodes_by_name[name]
+        except KeyError:
+            raise KeyError(f"no node named {name!r}") from None
+
+    def neighbors(self, node: Node) -> List[Node]:
+        """Directly connected peers of ``node``, in wiring order."""
+        return [self.nodes[peer] for peer in self._adjacency.get(node.id, [])]
 
     def all_ports(self) -> List[EgressPort]:
         return [p for node in self.nodes.values() for p in node.ports.values()]
@@ -139,8 +158,14 @@ class Topology:
     def _register(self, node: Node) -> None:
         if self._finalized:
             raise RuntimeError("cannot add nodes after finalize()")
+        if node.name in self._nodes_by_name:
+            # A silent duplicate used to shadow the earlier node in
+            # node_by_name scans; fault plans would then address the wrong
+            # element. Fail at construction instead.
+            raise ValueError(f"duplicate node name {node.name!r}")
         self.nodes[node.id] = node
         self._adjacency[node.id] = []
+        self._nodes_by_name[node.name] = node
 
     def _attach_directed(self, src: Node, dst: Node, rate_bps: int, delay_ns: int) -> None:
         name = f"{src.name}->{dst.name}"
@@ -150,6 +175,82 @@ class Topology:
         link = Link(self.sim, dst, delay_ns)
         port = EgressPort(self.sim, name, rate_bps, buffer, schedules, classifier, link)
         src.attach_port(dst.id, port)
+
+
+# ----------------------------------------------------------- the registry
+
+
+@dataclass(frozen=True)
+class RegisteredTopology:
+    """One buildable topology kind: its spec dataclass and builder."""
+
+    kind: str
+    spec_cls: Type
+    #: builder(sim, make_queues, spec) -> handle (Dumbbell/Star/Clos/...)
+    builder: Callable
+
+
+#: kind -> registration; the classic shapes register at import time below,
+#: other modules extend via :func:`register_topology`.
+_REGISTRY: Dict[str, RegisteredTopology] = {}
+
+#: kinds provided by modules that register on import (resolved on demand so
+#: ``build("fabric", ...)`` works without an explicit fabric import).
+_LAZY_KINDS: Dict[str, str] = {"fabric": "repro.net.fabric"}
+
+
+def register_topology(kind: str, spec_cls: Type, builder: Callable,
+                      replace: bool = False) -> None:
+    """Register a buildable topology kind.
+
+    ``builder(sim, make_queues, spec)`` must accept a ``spec_cls`` instance
+    and return a handle exposing at least ``topo``, ``hosts``, ``racks()``
+    and ``tor_uplinks()`` (the contract the experiment runner drives).
+    Registering an existing kind without ``replace=True`` is an error.
+    """
+    if not replace and kind in _REGISTRY:
+        raise ValueError(f"topology kind {kind!r} is already registered")
+    _REGISTRY[kind] = RegisteredTopology(kind, spec_cls, builder)
+
+
+def registered_topology(kind: str) -> RegisteredTopology:
+    """Resolve a registration, importing lazily-provided kinds on demand."""
+    entry = _REGISTRY.get(kind)
+    if entry is None and kind in _LAZY_KINDS:
+        importlib.import_module(_LAZY_KINDS[kind])
+        entry = _REGISTRY.get(kind)
+    if entry is None:
+        raise KeyError(
+            f"unknown topology kind {kind!r}; registered kinds: "
+            f"{', '.join(topology_kinds())}")
+    return entry
+
+
+def topology_kinds() -> Tuple[str, ...]:
+    """All buildable kinds (including lazily-registered ones)."""
+    return tuple(sorted(set(_REGISTRY) | set(_LAZY_KINDS)))
+
+
+def spec_class(kind: str) -> Type:
+    """The spec dataclass a kind's builder consumes."""
+    return registered_topology(kind).spec_cls
+
+
+def build(kind: str, sim: Simulator, make_queues: QueueFactory, spec=None):
+    """Build a topology of ``kind`` through the registry.
+
+    ``spec=None`` builds the kind's default spec. The spec's type is
+    checked against the registration so a ClosSpec handed to "dumbbell"
+    fails loudly instead of producing a half-wired fabric.
+    """
+    entry = registered_topology(kind)
+    if spec is None:
+        spec = entry.spec_cls()
+    elif not isinstance(spec, entry.spec_cls):
+        raise TypeError(
+            f"topology kind {kind!r} takes a {entry.spec_cls.__name__}, "
+            f"got {type(spec).__name__}")
+    return entry.builder(sim, make_queues, spec)
 
 
 # --------------------------------------------------------------- builders
@@ -182,8 +283,8 @@ class Dumbbell:
         return self.topo.port(self.left, self.right)
 
 
-def build_dumbbell(
-    sim: Simulator, make_queues: QueueFactory, spec: DumbbellSpec = DumbbellSpec()
+def _build_dumbbell(
+    sim: Simulator, make_queues: QueueFactory, spec: DumbbellSpec
 ) -> Dumbbell:
     topo = Topology(sim, make_queues)
     left = topo.add_switch("swL", spec.buffer_bytes, spec.buffer_alpha)
@@ -225,7 +326,7 @@ class Star:
         return self.topo.port(self.switch, host)
 
 
-def build_star(sim: Simulator, make_queues: QueueFactory, spec: StarSpec = StarSpec()) -> Star:
+def _build_star(sim: Simulator, make_queues: QueueFactory, spec: StarSpec) -> Star:
     topo = Topology(sim, make_queues)
     switch = topo.add_switch("sw", spec.buffer_bytes, spec.buffer_alpha)
     hosts = []
@@ -310,8 +411,8 @@ class Clos:
         return ports
 
 
-def build_clos(
-    sim: Simulator, make_queues: QueueFactory, spec: ClosSpec = ClosSpec()
+def _build_clos(
+    sim: Simulator, make_queues: QueueFactory, spec: ClosSpec
 ) -> Clos:
     topo = Topology(sim, make_queues)
     n_cores = spec.aggs_per_pod * spec.cores_per_group
@@ -357,3 +458,28 @@ def build_clos(
         tors.append(pod_tors)
     topo.finalize()
     return Clos(topo, cores, aggs, tors, hosts_by_tor, spec)
+
+
+# The classic shapes are just registry entries; the public build_* names
+# are thin shims kept for callers that predate the registry.
+register_topology("dumbbell", DumbbellSpec, _build_dumbbell)
+register_topology("star", StarSpec, _build_star)
+register_topology("clos", ClosSpec, _build_clos)
+
+
+def build_dumbbell(
+    sim: Simulator, make_queues: QueueFactory, spec: Optional[DumbbellSpec] = None
+) -> Dumbbell:
+    return build("dumbbell", sim, make_queues, spec)
+
+
+def build_star(
+    sim: Simulator, make_queues: QueueFactory, spec: Optional[StarSpec] = None
+) -> Star:
+    return build("star", sim, make_queues, spec)
+
+
+def build_clos(
+    sim: Simulator, make_queues: QueueFactory, spec: Optional[ClosSpec] = None
+) -> Clos:
+    return build("clos", sim, make_queues, spec)

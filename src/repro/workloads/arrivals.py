@@ -97,3 +97,76 @@ class PoissonTraffic:
             return 0.0
         leave_prob = (n_racks - 1) / n_racks
         return leave_prob * oversubscription
+
+
+class GroupedPoissonTraffic(PoissonTraffic):
+    """Poisson traffic with a locality matrix over host groups.
+
+    ``groups`` partitions the hosts (e.g. by region of a declarative
+    fabric); each flow keeps its destination inside the sender's group
+    with probability ``intra_fraction`` and crosses groups otherwise.
+    With a single (or a singleton) group the pick degrades gracefully to
+    whatever choice is feasible, so uniform fabrics stay valid.
+    """
+
+    def __init__(self, groups: Sequence[Sequence["Host"]], cdf: EmpiricalCdf,
+                 load: float, rate_bps: int, sim_time_ns: int,
+                 rng: np.random.Generator, intra_fraction: float,
+                 size_scale: float = 1.0, first_flow_id: int = 1) -> None:
+        if not 0.0 <= intra_fraction <= 1.0:
+            raise ValueError(
+                f"intra_fraction must be in [0,1], got {intra_fraction}")
+        self.groups = [list(g) for g in groups if g]
+        if not self.groups:
+            raise ValueError("need at least one non-empty host group")
+        hosts = [h for g in self.groups for h in g]
+        super().__init__(hosts, cdf, load, rate_bps, sim_time_ns, rng,
+                         size_scale=size_scale, first_flow_id=first_flow_id)
+        self.intra_fraction = intra_fraction
+        self._group_of = {
+            id(h): gi for gi, g in enumerate(self.groups) for h in g
+        }
+        self._index_in_group = {
+            id(h): i for g in self.groups for i, h in enumerate(g)
+        }
+
+    def generate(self) -> List[TrafficSpec]:
+        lam = self.arrival_rate_per_ns()
+        t = 0.0
+        flow_id = self.first_flow_id
+        flows: List[TrafficSpec] = []
+        rng = self.rng
+        while True:
+            t += rng.exponential(1.0 / lam)
+            start = int(t)
+            if start >= self.sim_time_ns:
+                break
+            src = self.hosts[int(rng.integers(0, len(self.hosts)))]
+            dst = self._pick_dst(src, rng)
+            size = self.cdf.sample(rng, self.size_scale)
+            flows.append(TrafficSpec(flow_id, src, dst, size, start))
+            flow_id += 1
+        return flows
+
+    def _pick_dst(self, src: "Host", rng: np.random.Generator) -> "Host":
+        gi = self._group_of[id(src)]
+        local = self.groups[gi]
+        want_intra = rng.random() < self.intra_fraction
+        if want_intra and len(local) < 2:
+            want_intra = False  # singleton group: must leave
+        if not want_intra and len(local) == len(self.hosts):
+            want_intra = True  # single group: must stay
+        if want_intra:
+            k = int(rng.integers(0, len(local) - 1))
+            if k >= self._index_in_group[id(src)]:
+                k += 1
+            return local[k]
+        remote_count = len(self.hosts) - len(local)
+        k = int(rng.integers(0, remote_count))
+        for gj, g in enumerate(self.groups):
+            if gj == gi:
+                continue
+            if k < len(g):
+                return g[k]
+            k -= len(g)
+        raise AssertionError("unreachable: remote pick out of range")

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import pathlib
+
 import pytest
 
 from repro.cli import FIGURES, build_parser, main
@@ -42,3 +44,50 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "Deployment sweep" in out
         assert "flexpass" in out
+
+
+EXAMPLE_SPEC = str(pathlib.Path(__file__).resolve().parents[1] /
+                   "examples" / "regional_fabric.yaml")
+
+
+class TestTopoCommand:
+    def test_validate(self, capsys):
+        assert main(["topo", "validate", EXAMPLE_SPEC]) == 0
+        out = capsys.readouterr().out
+        assert "OK: regional-fabric" in out
+        assert "2 inter-region" in out
+
+    def test_validate_rejects_bad_spec(self, tmp_path, capsys):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text(
+            "name: broken\n"
+            "nodes:\n  - {name: a, kind: host}\n  - {name: b, kind: switch}\n"
+            "links:\n  - {a: a, b: ghost, rate: 1G, delay: 1us}\n")
+        assert main(["topo", "validate", str(bad)]) == 1
+        assert "unknown endpoint 'ghost'" in capsys.readouterr().err
+
+    def test_show(self, capsys):
+        assert main(["topo", "show", EXAMPLE_SPEC]) == 0
+        out = capsys.readouterr().out
+        assert "CORE-SYD-01" in out
+        assert "wan" in out
+
+    def test_run_with_auto_backbone_fault_and_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["topo", "run", EXAMPLE_SPEC, "--scheme", "flexpass",
+                "--faults", "--ms", "1", "--size-scale", "32",
+                "--cache", cache]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "backbone link CORE-SYD-01<->CORE-MEL-01 down" in first
+        assert "reroutes" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "served from experiment cache" in second
+
+    def test_run_fault_site(self, capsys):
+        argv = ["topo", "run", EXAMPLE_SPEC, "--ms", "1",
+                "--size-scale", "32", "--cache", "none",
+                "--fault-site", "DC-MEL-01", "0.3", "0.6"]
+        assert main(argv) == 0
+        assert "reroutes" in capsys.readouterr().out

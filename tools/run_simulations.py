@@ -112,6 +112,10 @@ def main() -> int:
     parser.add_argument("--max-retries", type=int, default=2,
                         help="extra attempts per failing config")
     parser.add_argument("--paper-scale", action="store_true")
+    parser.add_argument("--topo-spec", metavar="PATH", default=None,
+                        help="run the grid over a declarative topology spec "
+                             "(YAML/JSON file or CSV directory) instead of "
+                             "the default Clos; see repro.net.fabric")
     parser.add_argument("--only", nargs="*", default=None,
                         help="run only experiment ids with these prefixes")
     parser.add_argument("--telemetry", action="store_true",
@@ -126,6 +130,10 @@ def main() -> int:
                      seed=args.seed, size_scale=args.size_scale)
     if args.paper_scale:
         overrides.update(clos=ClosSpec.paper_scale(), size_scale=1.0)
+    if args.topo_spec:
+        from repro.net.fabric import load_topology_spec
+
+        overrides["topology_spec"] = load_topology_spec(args.topo_spec)
     if args.telemetry:
         overrides["telemetry"] = TelemetryConfig()
     if args.audit:
@@ -137,8 +145,10 @@ def main() -> int:
         grid = [(eid, cfg) for eid, cfg in grid
                 if any(eid.startswith(p) for p in args.only)]
     os.makedirs(args.out, exist_ok=True)
+    n_hosts = (len(base.topology_spec.hosts()) if base.topology_spec
+               else base.clos.n_hosts)
     print(f"running {len(grid)} simulations "
-          f"({base.clos.n_hosts} hosts, {args.ms} ms each) ...")
+          f"({n_hosts} hosts, {args.ms} ms each) ...")
 
     configs = [cfg for _, cfg in grid]
     if args.store or args.resume:
