@@ -315,6 +315,49 @@ def test_bench_sweep_throughput(benchmark):
     assert count == 8
 
 
+def test_bench_traffic_gen(benchmark):
+    """Streaming generator suite: digest 200k flows from three merged
+    sources (empirical open-loop, ON/OFF bimodal with a locality matrix,
+    coflow jobs). Pure generator overhead, no simulator — the cost the
+    runner's streaming pump pays per flow on top of the simulation
+    itself. Records the same ``traffic_gen`` entry as
+    ``tools/profile_sim.py --scenario traffic_gen``.
+    """
+    import itertools
+
+    from repro.sim.rng import RngRegistry
+    from repro.workloads.gen import (SourceConfig, TrafficConfig,
+                                     build_sources, merge_sources,
+                                     stream_digest, stub_groups)
+
+    def run():
+        traffic = TrafficConfig(sources=(
+            SourceConfig(name="bg", kind="open", load_share=0.7,
+                         locality="grouped:intra=0.8"),
+            SourceConfig(name="burst", kind="open", load_share=0.2,
+                         sizes="bimodal:small_kb=2,large_mb=0.5",
+                         arrivals="onoff:on_us=50,off_us=200",
+                         locality="matrix:intra=0.6"),
+            SourceConfig(name="jobs", kind="coflow", load_share=0.1,
+                         fanout=4),
+        ))
+        groups = stub_groups(32, 4)
+        hosts = [h for g in groups for h in g]
+        sources = build_sources(traffic, hosts, groups, load=0.6,
+                                rate_bps=10e9, sim_time_ns=1 << 62,
+                                size_scale=8.0)
+        n = 200_000
+        stream = itertools.islice(merge_sources(sources, RngRegistry(1)), n)
+        t0 = time.perf_counter()
+        digest = stream_digest(stream)
+        _record_rate("traffic_gen", digest.flows,
+                     time.perf_counter() - t0, "flows")
+        return digest.flows
+
+    flows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert flows >= 200_000
+
+
 def test_bench_clos_full(benchmark):
     """Paper-scale Clos (192 hosts, 40 Gbps, §6.2 shape) at full load.
 

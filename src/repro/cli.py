@@ -337,6 +337,70 @@ def build_parser() -> argparse.ArgumentParser:
                              "identical spec+config is served from it")
     _add_fault_args(p_topo, ontology=True)
 
+    p_wl = sub.add_parser(
+        "workloads",
+        help="streaming traffic-generator suite: list building blocks, "
+             "describe a composition, sample a flow stream, or sweep "
+             "load x locality x burstiness across schemes")
+    p_wl.add_argument(
+        "action", choices=("list", "describe", "sample", "sweep"),
+        help="list: building blocks + spec grammar; describe: resolve a "
+             "composition against a stub fabric; sample: stream flows "
+             "(digest / bounded-memory checks); sweep: simulate the grid")
+    g = p_wl.add_argument_group("traffic composition")
+    g.add_argument("--sizes", default="empirical",
+                   help="size model spec (see 'repro workloads list')")
+    g.add_argument("--arrivals", default="poisson",
+                   help="arrival process spec (poisson | pareto:alpha= | "
+                        "onoff:on_us=,off_us=)")
+    g.add_argument("--locality", default="uniform",
+                   help="pair picker spec (uniform | grouped:intra= | "
+                        "matrix:intra=)")
+    g.add_argument("--workload", default="websearch",
+                   help="default empirical CDF for 'empirical' size specs")
+    g.add_argument("--size-scale", type=float, default=8.0)
+    g.add_argument("--load", type=float, default=0.5)
+    g.add_argument("--seed", type=int, default=1)
+    g.add_argument("--incast-share", type=float, default=0.0, metavar="F",
+                   help="add a synchronized-incast source carrying this "
+                        "fraction of the offered load")
+    g.add_argument("--coflow-share", type=float, default=0.0, metavar="F",
+                   help="add a coflow (scatter-gather jobs) source carrying "
+                        "this fraction of the offered load")
+    g.add_argument("--coflow-fanout", type=int, default=4)
+    g.add_argument("--request-kb", type=float, default=8.0,
+                   help="incast/coflow request size in kB (unscaled)")
+    g = p_wl.add_argument_group("stub fabric (describe/sample)")
+    g.add_argument("--hosts", type=int, default=32)
+    g.add_argument("--groups", type=int, default=4,
+                   help="racks the stub hosts are partitioned into")
+    g.add_argument("--rate-gbps", type=float, default=10.0,
+                   help="stub access-link rate the load is relative to")
+    g = p_wl.add_argument_group("sampling (sample)")
+    g.add_argument("--flows", type=int, default=None,
+                   help="stop after exactly N flows (default: --ms horizon)")
+    g.add_argument("--ms", type=int, default=2, help="simulated ms horizon")
+    g.add_argument("--show", type=int, default=0, metavar="N",
+                   help="print the first N flows")
+    g.add_argument("--digest", action="store_true",
+                   help="print the stream digest (count/bytes/sha256)")
+    g.add_argument("--check-memory", action="store_true",
+                   help="trace allocations while streaming and fail if the "
+                        "peak exceeds --memory-budget-mb (proves the "
+                        "generator is constant-memory)")
+    g.add_argument("--memory-budget-mb", type=float, default=64.0)
+    g = p_wl.add_argument_group("grid (sweep)")
+    g.add_argument("--schemes", nargs="+", default=["dctcp", "flexpass"],
+                   choices=[s.value for s in SchemeName])
+    g.add_argument("--loads", type=float, nargs="+", default=None,
+                   help="grid loads (default: the single --load)")
+    g.add_argument("--localities", nargs="+", default=None,
+                   help="grid locality specs (default: the single "
+                        "--locality)")
+    g.add_argument("--arrival-grid", nargs="+", default=None,
+                   help="grid arrival specs (default: the single "
+                        "--arrivals)")
+
     p_audit = sub.add_parser(
         "audit", help="correctness audit: invariant matrix or replay cell")
     p_audit.add_argument(
@@ -630,6 +694,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_clos(args)
     if args.command == "topo":
         return _run_topo(args)
+    if args.command == "workloads":
+        return _run_workloads(args)
     if args.command == "audit":
         return _run_audit(args)
     return 1  # pragma: no cover
@@ -767,6 +833,176 @@ def _run_clos(args) -> int:
         rows,
     )
     return 1 if res.aborted else 0
+
+
+def _workloads_traffic(args):
+    """Build the TrafficConfig described by the workloads flags."""
+    from repro.workloads.gen import SourceConfig, TrafficConfig
+
+    main_share = 1.0 - args.incast_share - args.coflow_share
+    if main_share <= 0.0:
+        raise SystemExit("repro workloads: --incast-share + --coflow-share "
+                         "must leave a positive share for the open-loop "
+                         "source")
+    request_bytes = max(1, int(args.request_kb * 1000))
+    sources = [SourceConfig(
+        name="bg", kind="open", sizes=args.sizes, arrivals=args.arrivals,
+        locality=args.locality, load_share=main_share)]
+    if args.incast_share > 0.0:
+        sources.append(SourceConfig(
+            name="incast", kind="incast", load_share=args.incast_share,
+            request_bytes=request_bytes, role="fg"))
+    if args.coflow_share > 0.0:
+        sources.append(SourceConfig(
+            name="jobs", kind="coflow", sizes=args.sizes,
+            load_share=args.coflow_share, fanout=args.coflow_fanout,
+            request_bytes=request_bytes))
+    return TrafficConfig(tuple(sources))
+
+
+def _workloads_sources(args, sim_time_ns: int):
+    """Instantiate the composition against the stub fabric."""
+    from repro.workloads.gen import build_sources, stub_groups
+
+    groups = stub_groups(args.hosts, args.groups)
+    hosts = [h for g in groups for h in g]
+    return build_sources(
+        _workloads_traffic(args), hosts, groups, load=args.load,
+        rate_bps=args.rate_gbps * 1e9, sim_time_ns=sim_time_ns,
+        size_scale=args.size_scale, default_workload=args.workload)
+
+
+def _run_workloads(args) -> int:
+    """The ``repro workloads`` subcommand: the streaming generator suite."""
+    from repro.sim.rng import RngRegistry
+    from repro.workloads.distributions import WORKLOADS
+    from repro.workloads.gen import merge_sources, stream_digest
+
+    if args.action == "list":
+        print_table(
+            "size models (--sizes)", ("spec", "meaning"),
+            [("empirical[:W]", "paper CDF (W defaults to --workload)")]
+            + [(name, "empirical workload CDF") for name in sorted(WORKLOADS)]
+            + [("lognormal:mean_kb=60,sigma=1.5", "parametric lognormal"),
+               ("pareto:min_kb=1,alpha=1.3,max_mb=100",
+                "bounded heavy-tail"),
+               ("bimodal:small_kb=2,large_mb=1,large_frac=0.05,sigma=0.5",
+                "mice + elephants mixture")])
+        print_table(
+            "arrival processes (--arrivals)", ("spec", "meaning"),
+            [("poisson", "memoryless (the paper's default)"),
+             ("pareto:alpha=1.5", "heavy-tailed gaps, same long-run rate"),
+             ("onoff:on_us=100,off_us=900",
+              "Markov-modulated bursts, same long-run rate")])
+        print_table(
+            "pair pickers (--locality)", ("spec", "meaning"),
+            [("uniform", "all-to-all (the paper's default)"),
+             ("grouped:intra=0.8", "keep a fraction inside the rack/region"),
+             ("matrix:intra=0.7",
+              "full group x group matrix (uniform off-diagonal)")])
+        print_table(
+            "extra sources", ("flag", "meaning"),
+            [("--incast-share F", "synchronized incast at F of the load"),
+             ("--coflow-share F",
+              "scatter-gather jobs; replies released on request "
+              "completion")])
+        return 0
+
+    if args.action == "sweep":
+        return _run_workloads_sweep(args)
+
+    horizon = args.ms * MILLIS if args.flows is None else (1 << 62)
+    sources = _workloads_sources(args, horizon)
+
+    if args.action == "describe":
+        rows = []
+        for src in sources:
+            arrivals = getattr(src, "arrivals", None)
+            rate = arrivals.rate_per_ns if arrivals is not None else 0.0
+            rows.append((src.name, src.describe(),
+                         f"{rate * 1e3:.4g}/us"))
+        print_table(
+            f"{args.hosts} stub hosts in {args.groups} groups @ "
+            f"{args.rate_gbps:g} Gbps, load {args.load:g}, "
+            f"size_scale {args.size_scale:g}",
+            ("source", "composition", "rate"), rows)
+        return 0
+
+    # action == "sample"
+    import itertools
+
+    stream = merge_sources(sources, RngRegistry(args.seed))
+    if args.flows is not None:
+        stream = itertools.islice(stream, args.flows)
+    if args.show > 0:
+        def _display(it, limit):
+            shown = 0
+            for t in it:
+                if shown < limit:
+                    print(f"  {t.start_ns:>12} ns  #{t.flow_id:<9} "
+                          f"{t.src.id:>4} -> {t.dst.id:<4} "
+                          f"{t.size_bytes:>9} B  {t.role}"
+                          + (f"  +{len(t.children)} child"
+                             if t.children else ""))
+                    shown += 1
+                yield t
+        stream = _display(stream, args.show)
+    tracer = None
+    if args.check_memory:
+        import tracemalloc
+        tracemalloc.start()
+        tracer = tracemalloc
+    digest = stream_digest(stream)
+    if tracer is not None:
+        _, peak = tracer.get_traced_memory()
+        tracer.stop()
+        peak_mb = peak / 1e6
+        budget = args.memory_budget_mb
+        print(f"peak traced memory: {peak_mb:.1f} MB over {digest.flows} "
+              f"flows (budget {budget:g} MB)")
+        if peak_mb > budget:
+            print(f"FAIL: generator exceeded the constant-memory budget",
+                  file=sys.stderr)
+            return 1
+    if args.digest:
+        print(f"flows={digest.flows} bytes={digest.total_bytes} "
+              f"sha256={digest.sha256}")
+    elif not args.show:
+        print(f"streamed {digest.flows} flows "
+              f"({digest.total_bytes / 1e6:.1f} MB offered)")
+    return 0
+
+
+def _run_workloads_sweep(args) -> int:
+    """load x locality x burstiness grid across schemes."""
+    loads = args.loads if args.loads else [args.load]
+    localities = args.localities if args.localities else [args.locality]
+    arrival_specs = args.arrival_grid if args.arrival_grid \
+        else [args.arrivals]
+    rows = []
+    for load in loads:
+        for locality in localities:
+            for arrivals in arrival_specs:
+                ns = argparse.Namespace(**vars(args))
+                ns.load, ns.locality, ns.arrivals = load, locality, arrivals
+                traffic = _workloads_traffic(ns)
+                for scheme in args.schemes:
+                    cfg = default_sweep_config(
+                        scheme=SchemeName(scheme),
+                        deployment=0.0 if scheme == "dctcp" else 1.0,
+                        load=load, seed=args.seed,
+                        sim_time_ns=args.ms * MILLIS,
+                        size_scale=args.size_scale,
+                        workload=args.workload, traffic=traffic)
+                    res = run_experiment(cfg)
+                    s_all, s_small = res.fct(), res.fct(small=True)
+                    rows.append((scheme, load, locality, arrivals,
+                                 f"{res.completed}/{len(res.records)}",
+                                 s_small.p99_ms, s_all.avg_ms))
+    print_grid("workloads sweep", rows,
+               ("scheme", "load", "locality", "arrivals", "flows",
+                "p99 small (ms)", "avg (ms)"))
+    return 0
 
 
 def _run_audit(args) -> int:

@@ -21,6 +21,7 @@ from repro.faults.plan import FaultPlan
 from repro.metrics.telemetry import TelemetryConfig
 from repro.net.topology import ClosSpec
 from repro.sim.units import GBPS, KB, MICROS, MILLIS
+from repro.workloads.gen import SourceConfig, TrafficConfig
 
 
 class SchemeName(str, enum.Enum):
@@ -86,6 +87,10 @@ class ExperimentConfig:
     #: locality matrix for declarative fabrics: fraction of traffic kept
     #: within the sender's region (None = uniform all-to-all)
     locality_intra: Optional[float] = None
+    #: composed streaming traffic (None = legacy Poisson + incast path);
+    #: when set, ``workload``/``foreground_fraction`` act only as defaults
+    #: inside the block. See :mod:`repro.workloads.gen` and DESIGN.md §6k.
+    traffic: Optional[TrafficConfig] = None
     queues: QueueSettings = field(default_factory=QueueSettings)
     #: divide workload flow sizes by this factor (keeps flow *count* high at
     #: Python-simulation scale; the small-flow FCT cutoff scales with it)

@@ -37,6 +37,7 @@ from repro.workloads.arrivals import (
 )
 from repro.workloads.deployment import DeploymentPlan
 from repro.workloads.distributions import workload_cdf
+from repro.workloads.gen import TrafficSource, build_sources, merge_sources
 from repro.workloads.incast import IncastTraffic
 
 
@@ -134,13 +135,18 @@ def build_flow_specs(cfg: ExperimentConfig, clos: Clos,
 
 
 def _locality_groups(cfg: ExperimentConfig, clos) -> Optional[List[List]]:
-    """Host groups for the locality matrix, or None for uniform traffic.
+    """Host groups for the locality matrix, or None for uniform traffic."""
+    if cfg.locality_intra is None:
+        return None
+    return _fabric_groups(clos)
+
+
+def _fabric_groups(clos) -> List[List]:
+    """The fabric's natural host partition.
 
     Declarative fabrics group by region (falling back to racks when the
     spec has no regions); the hand-built topologies group by rack.
     """
-    if cfg.locality_intra is None:
-        return None
     groups: List[List] = []
     if hasattr(clos, "hosts_by_region"):
         by_region = clos.hosts_by_region()
@@ -148,6 +154,18 @@ def _locality_groups(cfg: ExperimentConfig, clos) -> Optional[List[List]]:
     if len(groups) < 2:
         groups = clos.racks()
     return groups
+
+
+def build_traffic_sources(cfg: ExperimentConfig,
+                          clos: Clos) -> List[TrafficSource]:
+    """Instantiate ``cfg.traffic`` against this run's fabric."""
+    if cfg.traffic is None:
+        raise ValueError("config has no traffic block")
+    return build_sources(
+        cfg.traffic, clos.hosts, _fabric_groups(clos),
+        load=cfg.load, rate_bps=cfg.reference_rate_bps,
+        sim_time_ns=cfg.sim_time_ns, size_scale=cfg.size_scale,
+        default_workload=cfg.workload)
 
 
 def run_experiment(cfg: ExperimentConfig,
@@ -160,7 +178,9 @@ def run_experiment(cfg: ExperimentConfig,
     rng = RngRegistry(cfg.seed)
     setup = make_scheme_setup(cfg)
     clos = build_topology(sim, setup.queue_factory, cfg)
-    specs, _plan = build_flow_specs(cfg, clos, rng)
+    specs = None
+    if cfg.traffic is None:
+        specs, _plan = build_flow_specs(cfg, clos, rng)
 
     fault_counters = FaultCounters()
     if cfg.faults is not None and not cfg.faults.empty:
@@ -168,18 +188,54 @@ def run_experiment(cfg: ExperimentConfig,
         fault_counters = injector.counters
 
     live: Dict[int, Tuple[FlowSpec, FlowStats]] = {}
+    # Dependent flows (coflow replies) keyed by parent id, released on the
+    # parent's completion callback; always empty on the legacy path.
+    pending_children: Dict[int, Tuple[TrafficSpec, ...]] = {}
 
     def on_complete(spec: FlowSpec, stats: FlowStats) -> None:
-        # Nothing to do eagerly; records are built at the horizon from the
-        # shared stats objects. The callback exists so callers can extend.
-        pass
+        # Records are built at the horizon from the shared stats objects;
+        # the eager work here is releasing this flow's dependent children
+        # (their start_ns is a relative offset from completion time).
+        children = pending_children.pop(spec.flow_id, None)
+        if children:
+            for child in children:
+                arrive(child, sim.now + child.start_ns)
 
     def launch(spec: FlowSpec) -> None:
         stats = setup.launch(sim, spec, on_complete)
         live[spec.flow_id] = (spec, stats)
 
-    for spec in specs:
-        sim.at(spec.start_ns, launch, spec)
+    if specs is not None:
+        # Legacy path: the materialized flow list is scheduled up front.
+        for spec in specs:
+            sim.at(spec.start_ns, launch, spec)
+    else:
+        # Streaming path: pull one spec at a time from the merged source
+        # stream, keeping exactly one pending arrival event in the engine —
+        # constant memory regardless of how many flows the horizon holds.
+        deployment = 0.0 if cfg.scheme == SchemeName.DCTCP else cfg.deployment
+        plan = DeploymentPlan(clos.racks(), deployment,
+                              rng.stream("deployment"))
+        stream = merge_sources(build_traffic_sources(cfg, clos), rng)
+
+        def arrive(t: TrafficSpec, start_ns: int) -> None:
+            group = plan.flow_group(t.src, t.dst)
+            scheme_label = cfg.scheme.value if group == "new" else "dctcp"
+            if t.children:
+                pending_children[t.flow_id] = t.children
+            launch(FlowSpec(t.flow_id, t.src, t.dst, t.size_bytes, start_ns,
+                            scheme=scheme_label, group=group, role=t.role))
+
+        def pump() -> None:
+            t = next(stream, None)
+            if t is not None and t.start_ns < cfg.sim_time_ns:
+                sim.at(t.start_ns, on_arrival, t)
+
+        def on_arrival(t: TrafficSpec) -> None:
+            arrive(t, t.start_ns)
+            pump()
+
+        pump()
 
     sampler = _attach_telemetry(sim, cfg, clos, live, sample_q1)
     auditor = _attach_audit(sim, cfg, clos, live)

@@ -1,16 +1,81 @@
-"""Traffic generation: flow-size distributions, arrivals, incast, deployment."""
+"""Traffic generation: flow-size distributions, arrivals, incast, deployment.
 
-from repro.workloads.arrivals import PoissonTraffic, TrafficSpec
+The streaming generator suite lives in :mod:`repro.workloads.gen`; the
+legacy classes (:class:`PoissonTraffic` and friends) are thin adapters
+over it.
+"""
+
+from repro.workloads.arrivals import (
+    GroupedPoissonTraffic,
+    PoissonTraffic,
+    TrafficSpec,
+)
 from repro.workloads.deployment import DeploymentPlan
-from repro.workloads.distributions import EmpiricalCdf, WORKLOADS, workload_cdf
+from repro.workloads.distributions import (
+    BimodalSizes,
+    BoundedParetoSizes,
+    EmpiricalCdf,
+    LognormalSizes,
+    SizeModel,
+    WORKLOADS,
+    workload_cdf,
+)
+from repro.workloads.gen import (
+    ArrivalProcess,
+    CoflowSource,
+    GroupedPairs,
+    IncastSource,
+    MatrixPairs,
+    OnOffArrivals,
+    OpenLoopSource,
+    PairPicker,
+    ParetoArrivals,
+    PoissonArrivals,
+    SourceConfig,
+    StreamDigest,
+    TrafficConfig,
+    TrafficSource,
+    UniformPairs,
+    build_sources,
+    merge_sources,
+    stream_digest,
+    stub_groups,
+    stub_hosts,
+)
 from repro.workloads.incast import IncastTraffic
 
 __all__ = [
     "PoissonTraffic",
+    "GroupedPoissonTraffic",
     "TrafficSpec",
     "DeploymentPlan",
     "EmpiricalCdf",
+    "SizeModel",
+    "LognormalSizes",
+    "BoundedParetoSizes",
+    "BimodalSizes",
     "WORKLOADS",
     "workload_cdf",
     "IncastTraffic",
+    # streaming generator suite
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "ParetoArrivals",
+    "OnOffArrivals",
+    "PairPicker",
+    "UniformPairs",
+    "GroupedPairs",
+    "MatrixPairs",
+    "TrafficSource",
+    "OpenLoopSource",
+    "IncastSource",
+    "CoflowSource",
+    "SourceConfig",
+    "TrafficConfig",
+    "StreamDigest",
+    "build_sources",
+    "merge_sources",
+    "stream_digest",
+    "stub_hosts",
+    "stub_groups",
 ]

@@ -6,31 +6,35 @@ so the offered load on host access links equals ``load`` — the paper states
 loads relative to ToR-uplink (core) utilization, which for all-to-all
 uniform traffic on this Clos differs by the fixed oversubscription factor;
 :func:`PoissonTraffic.core_load_factor` exposes the conversion.
+
+Since the streaming generator suite landed (:mod:`repro.workloads.gen`),
+these classes are thin adapters over :class:`~repro.workloads.gen.
+OpenLoopSource` — same RNG draw order per flow (gap, pair, size), so the
+flow stream is identical to the historical materialized loop for any
+given lambda. ``generate()`` still returns a list for existing callers;
+``stream()`` exposes the constant-memory iterator.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, TYPE_CHECKING
+from typing import Iterator, List, Sequence, TYPE_CHECKING
 
 import numpy as np
 
 from repro.workloads.distributions import EmpiricalCdf
+from repro.workloads.gen import (
+    GroupedPairs,
+    OpenLoopSource,
+    PairPicker,
+    PoissonArrivals,
+    TrafficSpec,
+    UniformPairs,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.host import Host
 
-
-@dataclass
-class TrafficSpec:
-    """One generated flow before endpoint creation."""
-
-    flow_id: int
-    src: "Host"
-    dst: "Host"
-    size_bytes: int
-    start_ns: int
-    role: str = "bg"
+__all__ = ["TrafficSpec", "PoissonTraffic", "GroupedPoissonTraffic"]
 
 
 class PoissonTraffic:
@@ -59,34 +63,30 @@ class PoissonTraffic:
         """Aggregate flow arrival rate lambda (flows/ns).
 
         Total offered bits/s = load * n_hosts * access_rate; divide by the
-        (scaled) mean flow size in bits.
+        *realized* mean flow size in bits — ``sample()`` truncates and
+        clamps to ``max(1, int(size / scale))``, which inflates the mean of
+        small-flow CDFs at large ``size_scale``, so dividing by the
+        analytic ``mean_bytes`` would overshoot the offered load.
         """
-        mean_bits = self.cdf.mean_bytes(self.size_scale) * 8.0
+        mean_bits = self.cdf.realized_mean_bytes(self.size_scale) * 8.0
         offered_bps = self.load * len(self.hosts) * self.rate_bps
         return offered_bps / mean_bits / 1e9
 
+    def _picker(self) -> PairPicker:
+        return UniformPairs(self.hosts)
+
+    def _source(self) -> OpenLoopSource:
+        return OpenLoopSource(
+            "bg", self._picker(), self.cdf,
+            PoissonArrivals(self.arrival_rate_per_ns()), self.sim_time_ns,
+            size_scale=self.size_scale, first_flow_id=self.first_flow_id)
+
+    def stream(self) -> Iterator[TrafficSpec]:
+        """Constant-memory flow stream on this generator's own RNG."""
+        return self._source().flows(self.rng)
+
     def generate(self) -> List[TrafficSpec]:
-        lam = self.arrival_rate_per_ns()
-        t = 0.0
-        flow_id = self.first_flow_id
-        n_hosts = len(self.hosts)
-        flows: List[TrafficSpec] = []
-        rng = self.rng
-        while True:
-            t += rng.exponential(1.0 / lam)
-            start = int(t)
-            if start >= self.sim_time_ns:
-                break
-            a = int(rng.integers(0, n_hosts))
-            b = int(rng.integers(0, n_hosts - 1))
-            if b >= a:
-                b += 1
-            size = self.cdf.sample(rng, self.size_scale)
-            flows.append(
-                TrafficSpec(flow_id, self.hosts[a], self.hosts[b], size, start)
-            )
-            flow_id += 1
-        return flows
+        return list(self.stream())
 
     @staticmethod
     def core_load_factor(n_racks: int, oversubscription: float) -> float:
@@ -113,6 +113,8 @@ class GroupedPoissonTraffic(PoissonTraffic):
                  load: float, rate_bps: int, sim_time_ns: int,
                  rng: np.random.Generator, intra_fraction: float,
                  size_scale: float = 1.0, first_flow_id: int = 1) -> None:
+        # GroupedPairs re-validates, but keep the loud errors here so
+        # construction fails before any RNG is touched.
         if not 0.0 <= intra_fraction <= 1.0:
             raise ValueError(
                 f"intra_fraction must be in [0,1], got {intra_fraction}")
@@ -123,50 +125,6 @@ class GroupedPoissonTraffic(PoissonTraffic):
         super().__init__(hosts, cdf, load, rate_bps, sim_time_ns, rng,
                          size_scale=size_scale, first_flow_id=first_flow_id)
         self.intra_fraction = intra_fraction
-        self._group_of = {
-            id(h): gi for gi, g in enumerate(self.groups) for h in g
-        }
-        self._index_in_group = {
-            id(h): i for g in self.groups for i, h in enumerate(g)
-        }
 
-    def generate(self) -> List[TrafficSpec]:
-        lam = self.arrival_rate_per_ns()
-        t = 0.0
-        flow_id = self.first_flow_id
-        flows: List[TrafficSpec] = []
-        rng = self.rng
-        while True:
-            t += rng.exponential(1.0 / lam)
-            start = int(t)
-            if start >= self.sim_time_ns:
-                break
-            src = self.hosts[int(rng.integers(0, len(self.hosts)))]
-            dst = self._pick_dst(src, rng)
-            size = self.cdf.sample(rng, self.size_scale)
-            flows.append(TrafficSpec(flow_id, src, dst, size, start))
-            flow_id += 1
-        return flows
-
-    def _pick_dst(self, src: "Host", rng: np.random.Generator) -> "Host":
-        gi = self._group_of[id(src)]
-        local = self.groups[gi]
-        want_intra = rng.random() < self.intra_fraction
-        if want_intra and len(local) < 2:
-            want_intra = False  # singleton group: must leave
-        if not want_intra and len(local) == len(self.hosts):
-            want_intra = True  # single group: must stay
-        if want_intra:
-            k = int(rng.integers(0, len(local) - 1))
-            if k >= self._index_in_group[id(src)]:
-                k += 1
-            return local[k]
-        remote_count = len(self.hosts) - len(local)
-        k = int(rng.integers(0, remote_count))
-        for gj, g in enumerate(self.groups):
-            if gj == gi:
-                continue
-            if k < len(g):
-                return g[k]
-            k -= len(g)
-        raise AssertionError("unreachable: remote pick out of range")
+    def _picker(self) -> PairPicker:
+        return GroupedPairs(self.groups, self.intra_fraction)

@@ -1,4 +1,4 @@
-"""Empirical flow-size distributions (§6.2 benchmark workloads).
+"""Flow-size distributions: the §6.2 empirical CDFs + parametric models.
 
 Four realistic workloads drive the paper's simulations:
 
@@ -11,17 +11,107 @@ The CDFs below are piecewise transcriptions of the published distributions
 (the exact traces are not public; DESIGN.md records this substitution).
 Sampling uses inverse-transform with log-linear interpolation between knots,
 appropriate for sizes spanning five decades.
+
+Alongside them, :class:`LognormalSizes`, :class:`BoundedParetoSizes`, and
+:class:`BimodalSizes` provide parametric size models for the streaming
+generator suite (:mod:`repro.workloads.gen`), all conforming to the same
+:class:`SizeModel` protocol.
+
+Every model distinguishes the *analytic* mean (``mean_bytes``: the mean of
+the continuous law divided by ``scale``) from the *realized* mean
+(``realized_mean_bytes``: the mean of what ``sample`` actually returns,
+``E[max(1, int(X / scale))]``). Truncation and the 1-byte clamp inflate the
+realized mean on small-flow distributions at large ``scale`` — dividing the
+offered byte rate by the analytic mean therefore overshoots the nominal
+load (cachefollower at scale 4096 realizes ~1.1% hot). Arrival-rate
+computations
+must use the realized mean; see DESIGN.md §6k.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+#: Cutoff for the exact term-by-term survival sum in :func:`realized_mean`;
+#: beyond it the tail closes in continuous form (error < tail_mass / 2
+#: sampled bytes — by Markov, relative error under 1/(2 * 2^16)).
+_REALIZED_SUM_TERMS = 1 << 16
 
-class EmpiricalCdf:
+
+def realized_mean(survival_many: Callable[[np.ndarray], np.ndarray],
+                  partial_mean_above: Callable[[float], float],
+                  scale: float) -> float:
+    """``E[max(1, int(X / scale))]`` for a law given by its survival function.
+
+    Uses the layer-cake identity ``E[max(1, floor(v))] = 1 + sum_{k>=2}
+    P(v >= k)`` with ``v = X / scale``. The sum runs exactly (vectorized)
+    up to ``k = 2^16``; the remainder ``E[(floor(v) - K)^+]`` closes as
+    ``E[(v - K)^+] - P(v > K)/2`` (the equidistributed-fraction
+    correction), where ``E[(v - K)^+]`` comes from the model's closed-form
+    partial mean. The absolute error is bounded by ``P(v > K)/2 <=
+    E[v]/2K``, i.e. relative error below ``2^-17`` for any law.
+    """
+    if scale <= 0.0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    ks = np.arange(2.0, float(_REALIZED_SUM_TERMS) + 1.0) * scale
+    total = 1.0 + float(np.sum(survival_many(ks)))
+    edge = float(_REALIZED_SUM_TERMS) * scale
+    tail_mass = float(survival_many(np.asarray([edge]))[0])
+    if tail_mass > 0.0:
+        excess = (partial_mean_above(edge) / scale
+                  - _REALIZED_SUM_TERMS * tail_mass)
+        total += max(0.0, excess - 0.5 * tail_mass)
+    return total
+
+
+class SizeModel:
+    """Protocol shared by the empirical CDFs and parametric size models.
+
+    ``sample`` must return ``max(1, int(draw / scale))`` for one underlying
+    draw; ``survival_many``/``partial_mean_above`` describe the continuous
+    law in unscaled bytes and power the exact realized-mean computation.
+    """
+
+    name: str = "sizes"
+
+    def _draw(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator, scale: float = 1.0) -> int:
+        """Draw one flow size (bytes), optionally divided by ``scale``."""
+        return max(1, int(self._draw(rng) / scale))
+
+    def survival_many(self, sizes: np.ndarray) -> np.ndarray:
+        """Vectorized ``P(X > s)`` in unscaled bytes."""
+        raise NotImplementedError
+
+    def partial_mean_above(self, size_bytes: float) -> float:
+        """``E[X * 1{X > a}]`` in unscaled bytes (closed form)."""
+        raise NotImplementedError
+
+    def mean_bytes(self, scale: float = 1.0) -> float:
+        """Mean of the continuous law divided by ``scale`` (analytic)."""
+        raise NotImplementedError
+
+    def realized_mean_bytes(self, scale: float = 1.0) -> float:
+        """Mean of what :meth:`sample` actually returns.
+
+        ``E[max(1, int(X / scale))]`` — the truncated-and-clamped mean.
+        This is the correct divisor for arrival-rate (offered load)
+        computations; :meth:`mean_bytes` undershoots it whenever ``scale``
+        pushes mass toward single-digit sizes.
+        """
+        return realized_mean(self.survival_many, self.partial_mean_above,
+                             scale)
+
+    def describe(self) -> str:
+        return self.name
+
+
+class EmpiricalCdf(SizeModel):
     """Piecewise CDF over flow sizes in bytes."""
 
     def __init__(self, points: Sequence[Tuple[float, float]], name: str = "") -> None:
@@ -124,6 +214,182 @@ class EmpiricalCdf:
         if lx1 == lx0:
             return float(y1)
         return float(y0 + (y1 - y0) * (lx - lx0) / (lx1 - lx0))
+
+    def survival_many(self, sizes: np.ndarray) -> np.ndarray:
+        """Vectorized ``1 - fraction_below`` (same log-linear law)."""
+        sizes = np.asarray(sizes, dtype=float)
+        out = np.empty_like(sizes)
+        below = sizes <= self._xs[0]
+        above = sizes >= self._xs[-1]
+        mid = ~(below | above)
+        out[below] = 1.0
+        out[above] = 0.0
+        if np.any(mid):
+            out[mid] = 1.0 - np.interp(np.log(sizes[mid]), self._log_xs,
+                                       self._ys)
+        return out
+
+    def partial_mean_above(self, size_bytes: float) -> float:
+        """``E[X * 1{X > a}]``: the log-mean mass of segments above ``a``.
+
+        Within a segment ``x(f) = x0 * (x1/x0)**f`` with ``f`` uniform, so
+        the portion above ``a`` contributes ``dy * (x1 - max(a, x0)) /
+        (ln x1 - ln x0)`` — the same closed form as :meth:`mean_bytes`
+        with the lower endpoint moved up to ``a``.
+        """
+        a = float(size_bytes)
+        if a >= self._xs[-1]:
+            return 0.0
+        total = 0.0
+        for i in range(1, len(self._xs)):
+            x1 = float(self._xs[i])
+            if x1 <= a:
+                continue
+            dy = float(self._ys[i] - self._ys[i - 1])
+            if dy == 0.0:
+                continue
+            lo = max(a, float(self._xs[i - 1]))
+            total += dy * (x1 - lo) / float(self._log_xs[i]
+                                            - self._log_xs[i - 1])
+        return total
+
+
+def _erfc_many(xs: np.ndarray) -> np.ndarray:
+    """Vectorized ``math.erfc`` (numpy has no erfc; scipy is not a dep)."""
+    flat = np.asarray(xs, dtype=float).ravel()
+    return np.fromiter((math.erfc(v) for v in flat), dtype=float,
+                       count=flat.size).reshape(np.shape(xs))
+
+
+class LognormalSizes(SizeModel):
+    """Lognormal flow sizes parameterized by mean and shape ``sigma``."""
+
+    def __init__(self, mean_bytes: float, sigma: float,
+                 name: str = "") -> None:
+        if mean_bytes < 1.0:
+            raise ValueError(f"mean_bytes must be >= 1, got {mean_bytes}")
+        if sigma <= 0.0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self._mean = float(mean_bytes)
+        self.sigma = float(sigma)
+        self._mu = math.log(self._mean) - 0.5 * self.sigma ** 2
+        self.name = name or f"lognormal(mean={mean_bytes:g},sigma={sigma:g})"
+
+    def _draw(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self._mu, self.sigma))
+
+    def survival_many(self, sizes: np.ndarray) -> np.ndarray:
+        sizes = np.asarray(sizes, dtype=float)
+        z = (np.log(np.maximum(sizes, 1e-300)) - self._mu) \
+            / (self.sigma * math.sqrt(2.0))
+        out = 0.5 * _erfc_many(z)
+        return np.where(sizes <= 0.0, 1.0, out)
+
+    def partial_mean_above(self, size_bytes: float) -> float:
+        a = float(size_bytes)
+        if a <= 0.0:
+            return self._mean
+        z = (math.log(a) - self._mu - self.sigma ** 2) \
+            / (self.sigma * math.sqrt(2.0))
+        return self._mean * 0.5 * math.erfc(z)
+
+    def mean_bytes(self, scale: float = 1.0) -> float:
+        return self._mean / scale
+
+
+class BoundedParetoSizes(SizeModel):
+    """Pareto(``alpha``) flow sizes truncated to ``[min_bytes, max_bytes]``.
+
+    The unbounded Pareto has infinite mean for ``alpha <= 1``; the upper
+    truncation keeps every moment finite while preserving the power-law
+    body — the standard heavy-tailed flow-size model.
+    """
+
+    def __init__(self, min_bytes: float, alpha: float, max_bytes: float,
+                 name: str = "") -> None:
+        if min_bytes < 1.0:
+            raise ValueError(f"min_bytes must be >= 1, got {min_bytes}")
+        if max_bytes <= min_bytes:
+            raise ValueError(
+                f"max_bytes ({max_bytes}) must exceed min_bytes ({min_bytes})")
+        if alpha <= 0.0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.xm = float(min_bytes)
+        self.cap = float(max_bytes)
+        self.alpha = float(alpha)
+        #: total mass of the untruncated law inside [xm, cap]
+        self._z = 1.0 - (self.xm / self.cap) ** self.alpha
+        self.name = name or (f"pareto(min={min_bytes:g},alpha={alpha:g},"
+                             f"max={max_bytes:g})")
+
+    def _draw(self, rng: np.random.Generator) -> float:
+        u = rng.random()
+        return self.xm * (1.0 - u * self._z) ** (-1.0 / self.alpha)
+
+    def survival_many(self, sizes: np.ndarray) -> np.ndarray:
+        sizes = np.asarray(sizes, dtype=float)
+        s = np.clip(sizes, self.xm, self.cap)
+        surv = ((self.xm / s) ** self.alpha
+                - (self.xm / self.cap) ** self.alpha) / self._z
+        surv = np.where(sizes <= self.xm, 1.0, surv)
+        return np.where(sizes >= self.cap, 0.0, surv)
+
+    def partial_mean_above(self, size_bytes: float) -> float:
+        a = max(float(size_bytes), self.xm)
+        if a >= self.cap:
+            return 0.0
+        al, xm, cap = self.alpha, self.xm, self.cap
+        if al == 1.0:
+            return xm / self._z * math.log(cap / a)
+        return (al * xm ** al / self._z
+                * (a ** (1.0 - al) - cap ** (1.0 - al)) / (al - 1.0))
+
+    def mean_bytes(self, scale: float = 1.0) -> float:
+        return self.partial_mean_above(self.xm) / scale
+
+
+class BimodalSizes(SizeModel):
+    """Mixture of two lognormal modes (mice + elephants).
+
+    A fraction ``large_frac`` of flows draws from the large mode; the rest
+    from the small mode. ``sample`` consumes two uniforms (mode pick, then
+    the lognormal draw) — documented because stream-position tests care.
+    """
+
+    def __init__(self, small_bytes: float, large_bytes: float,
+                 large_frac: float, sigma: float = 0.5,
+                 name: str = "") -> None:
+        if not 0.0 < large_frac < 1.0:
+            raise ValueError(
+                f"large_frac must be in (0,1), got {large_frac}")
+        if large_bytes <= small_bytes:
+            raise ValueError(
+                f"large mode ({large_bytes}) must exceed small mode "
+                f"({small_bytes})")
+        self.small = LognormalSizes(small_bytes, sigma)
+        self.large = LognormalSizes(large_bytes, sigma)
+        self.large_frac = float(large_frac)
+        self.name = name or (f"bimodal(small={small_bytes:g},"
+                             f"large={large_bytes:g},frac={large_frac:g})")
+
+    def _draw(self, rng: np.random.Generator) -> float:
+        mode = self.large if rng.random() < self.large_frac else self.small
+        return mode._draw(rng)
+
+    def survival_many(self, sizes: np.ndarray) -> np.ndarray:
+        p = self.large_frac
+        return (1.0 - p) * self.small.survival_many(sizes) \
+            + p * self.large.survival_many(sizes)
+
+    def partial_mean_above(self, size_bytes: float) -> float:
+        p = self.large_frac
+        return (1.0 - p) * self.small.partial_mean_above(size_bytes) \
+            + p * self.large.partial_mean_above(size_bytes)
+
+    def mean_bytes(self, scale: float = 1.0) -> float:
+        p = self.large_frac
+        return ((1.0 - p) * self.small.mean_bytes()
+                + p * self.large.mean_bytes()) / scale
 
 
 _KB = 1_000

@@ -4,15 +4,19 @@
 the other hosts sends four 8 kB flows to the receiver." Incast events arrive
 as a Poisson process whose rate is chosen so foreground bytes make up the
 requested fraction of total traffic volume (10% in Figure 11).
+
+Adapter over :class:`repro.workloads.gen.IncastSource` — identical RNG
+draw order (gap, then receiver), so the stream matches the historical
+materialized loop for any given event rate.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, TYPE_CHECKING
+from typing import Iterator, List, Sequence, TYPE_CHECKING
 
 import numpy as np
 
-from repro.workloads.arrivals import TrafficSpec
+from repro.workloads.gen import IncastSource, PoissonArrivals, TrafficSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.host import Host
@@ -27,6 +31,14 @@ class IncastTraffic:
                  rng: np.random.Generator, first_flow_id: int) -> None:
         if not 0.0 <= foreground_fraction < 1.0:
             raise ValueError("foreground fraction must be in [0,1)")
+        if foreground_fraction > 0.0 and len(hosts) < 2:
+            # With one host there is no sender, bytes_per_event() is 0, and
+            # event_rate_per_ns() would divide by it. Fail at construction
+            # instead of deep inside rate math.
+            raise ValueError(
+                f"incast with foreground_fraction={foreground_fraction:g} "
+                f"needs at least 2 hosts (a receiver and a sender), got "
+                f"{len(hosts)}")
         self.hosts = list(hosts)
         self.request_bytes = request_bytes
         self.flows_per_sender = flows_per_sender
@@ -49,30 +61,16 @@ class IncastTraffic:
         )
         return fg_bytes_per_ns / self.bytes_per_event()
 
-    def generate(self) -> List[TrafficSpec]:
+    def stream(self) -> Iterator[TrafficSpec]:
+        """Constant-memory flow stream on this generator's own RNG."""
         lam = self.event_rate_per_ns()
         if lam <= 0.0:
-            return []
-        rng = self.rng
-        flows: List[TrafficSpec] = []
-        flow_id = self.first_flow_id
-        t = 0.0
-        n = len(self.hosts)
-        while True:
-            t += rng.exponential(1.0 / lam)
-            start = int(t)
-            if start >= self.sim_time_ns:
-                break
-            receiver = self.hosts[int(rng.integers(0, n))]
-            for sender in self.hosts:
-                if sender.id == receiver.id:
-                    continue
-                for _ in range(self.flows_per_sender):
-                    flows.append(
-                        TrafficSpec(
-                            flow_id, sender, receiver,
-                            self.request_bytes, start, role="fg",
-                        )
-                    )
-                    flow_id += 1
-        return flows
+            return iter(())
+        source = IncastSource(
+            "fg", self.hosts, self.request_bytes, self.flows_per_sender,
+            PoissonArrivals(lam), self.sim_time_ns,
+            first_flow_id=self.first_flow_id)
+        return source.flows(self.rng)
+
+    def generate(self) -> List[TrafficSpec]:
+        return list(self.stream())

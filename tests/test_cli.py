@@ -91,3 +91,47 @@ class TestTopoCommand:
                 "--fault-site", "DC-MEL-01", "0.3", "0.6"]
         assert main(argv) == 0
         assert "reroutes" in capsys.readouterr().out
+
+
+class TestWorkloadsCommand:
+    def test_list_prints_grammar(self, capsys):
+        assert main(["workloads", "list"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("lognormal", "pareto", "bimodal", "onoff", "matrix"):
+            assert kind in out
+
+    def test_describe_reports_rates(self, capsys):
+        rc = main(["workloads", "describe", "--incast-share", "0.2",
+                   "--coflow-share", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bg" in out and "incast" in out and "jobs" in out
+
+    def test_sample_digest_deterministic(self, capsys):
+        argv = ["workloads", "sample", "--flows", "400", "--digest",
+                "--seed", "5", "--locality", "grouped:intra=0.8"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "sha256=" in first and "flows=400" in first
+
+    def test_sample_show_prints_specs(self, capsys):
+        rc = main(["workloads", "sample", "--flows", "20", "--show", "5",
+                   "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bg" in out
+
+    def test_sample_memory_budget_passes(self, capsys):
+        rc = main(["workloads", "sample", "--flows", "5000",
+                   "--check-memory", "--memory-budget-mb", "32",
+                   "--seed", "2"])
+        assert rc == 0
+        assert "peak" in capsys.readouterr().out
+
+    def test_incast_and_coflow_shares_must_leave_bg_room(self):
+        with pytest.raises(SystemExit):
+            main(["workloads", "describe", "--incast-share", "0.7",
+                  "--coflow-share", "0.5"])

@@ -92,7 +92,8 @@ class TestProfileHarness:
                                        "dwrr_egress", "packet_pool",
                                        "sweep_throughput",
                                        "telemetry_overhead",
-                                       "audit_overhead", "clos_full"}
+                                       "audit_overhead", "clos_full",
+                                       "traffic_gen"}
         for metrics in doc["results"].values():
             rate = next(v for k, v in metrics.items()
                         if k.endswith("_per_sec"))
@@ -114,7 +115,7 @@ class TestProfileHarness:
         assert set(tool.RECORD_NAMES.values()) == {
             "event_dispatch", "packet_forwarding", "dwrr_egress",
             "packet_pool", "sweep_throughput", "telemetry_overhead",
-            "audit_overhead", "clos_full"}
+            "audit_overhead", "clos_full", "traffic_gen"}
 
 
 class TestBenchCli:

@@ -140,15 +140,91 @@ class TestMeanBytesClosedForm:
         assert lam_ratio != 1.0
         assert abs(lam_ratio - 1.0) < 1e-3
 
-    def test_arrival_rate_uses_exact_mean(self):
+    def test_arrival_rate_uses_realized_mean(self):
+        """λ must divide by the realized (truncated-and-clamped) mean of
+        what ``sample`` actually returns, not the analytic mean of the
+        continuous law — the offered-load bias fix."""
         clos = small_clos()
         rng = RngRegistry(1).stream("arrivals")
         traffic = PoissonTraffic(clos.hosts, DATAMINING, 0.6, 10 * GBPS,
                                  MILLIS, rng, size_scale=4.0)
         lam = traffic.arrival_rate_per_ns()
-        mean_bits = DATAMINING.mean_bytes(4.0) * 8.0
+        mean_bits = DATAMINING.realized_mean_bytes(4.0) * 8.0
         expected = 0.6 * len(clos.hosts) * 10 * GBPS / mean_bits / 1e9
         assert lam == pytest.approx(expected, rel=1e-12)
+
+
+def _realized_grid_oracle(cdf: EmpiricalCdf, scale: float,
+                          n: int = 1 << 22) -> float:
+    """Midpoint quadrature of ``E[max(1, int(X / scale))]`` over the
+    inverse CDF — independent of both the layer-cake sum in
+    ``realized_mean`` and the branchy ``sample_many`` path. For a monotone
+    integrand the midpoint-sum error is bounded by ``(max - min) / n``,
+    i.e. relative error well under 1e-4 for every pair tested below."""
+    u = (np.arange(n) + 0.5) / n
+    log_sizes = np.interp(u, cdf._ys, cdf._log_xs)
+    sizes = np.maximum(1, (np.exp(log_sizes) / scale).astype(np.int64))
+    return float(np.mean(sizes))
+
+
+class TestRealizedMean:
+    """``E[max(1, int(X / scale))]`` — the divisor behind arrival rates."""
+
+    @pytest.mark.parametrize("name", ["websearch", "datamining",
+                                      "cachefollower", "hadoop"])
+    @pytest.mark.parametrize("scale", [1.0, 8.0, 4096.0])
+    def test_matches_quadrature_oracle(self, name, scale):
+        cdf = workload_cdf(name)
+        assert cdf.realized_mean_bytes(scale) == pytest.approx(
+            _realized_grid_oracle(cdf, scale), rel=2e-4)
+
+    @pytest.mark.parametrize("name", ["websearch", "cachefollower"])
+    def test_matches_monte_carlo(self, name):
+        """The closed form must sit within four standard errors of what
+        the actual sampler returns — ties the math to ``sample``'s
+        contract rather than to another formula."""
+        cdf = workload_cdf(name)
+        scale = 4096.0
+        sizes = np.asarray(
+            cdf.sample_many(np.random.default_rng(42), 200_000, scale=scale),
+            dtype=float)
+        se = float(sizes.std()) / math.sqrt(len(sizes))
+        assert abs(cdf.realized_mean_bytes(scale) - float(sizes.mean())) \
+            < 4.0 * se
+
+    def test_clamp_inflates_small_flow_workloads(self):
+        """Where ``scale`` pushes mass toward 1-byte flows the clamp
+        inflates the realized mean above the analytic one (cachefollower
+        at scale 4096: ~+1.1%); at benign scales truncation deflates it
+        by about half a byte instead."""
+        assert CACHEFOLLOWER.realized_mean_bytes(4096.0) > \
+            CACHEFOLLOWER.mean_bytes(4096.0) * 1.01
+        r8 = WEBSEARCH.realized_mean_bytes(8.0)
+        assert r8 < WEBSEARCH.mean_bytes(8.0)
+        assert r8 == pytest.approx(WEBSEARCH.mean_bytes(8.0) - 0.5, abs=0.05)
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            WEBSEARCH.realized_mean_bytes(0.0)
+        with pytest.raises(ValueError):
+            WEBSEARCH.realized_mean_bytes(-1.0)
+
+    def test_offered_load_regression_nominal_vs_empirical(self):
+        """The old λ divided by the analytic mean, so the *empirical* load
+        (λ x realized bytes-per-flow) overshot the nominal wherever the
+        clamp bites. The fixed λ realizes the nominal load exactly."""
+        clos = small_clos()
+        scale = 4096.0
+        rng = RngRegistry(1).stream("arrivals")
+        traffic = PoissonTraffic(clos.hosts, CACHEFOLLOWER, 0.6, 10 * GBPS,
+                                 MILLIS, rng, size_scale=scale)
+        capacity = len(clos.hosts) * 10 * GBPS / 8.0 / 1e9  # bytes/ns
+        realized = CACHEFOLLOWER.realized_mean_bytes(scale)
+        empirical = traffic.arrival_rate_per_ns() * realized / capacity
+        assert empirical == pytest.approx(0.6, rel=1e-9)
+        lam_old = 0.6 * capacity / CACHEFOLLOWER.mean_bytes(scale)
+        overshoot = lam_old * realized / capacity
+        assert overshoot > 0.6 * 1.01  # the bug was worth fixing
 
 
 class TestSampleManyVectorized:
@@ -181,6 +257,52 @@ class TestSampleManyVectorized:
         sizes = WEBSEARCH.sample_many(np.random.default_rng(2), 100,
                                       scale=1e12)
         assert sizes == [1] * 100
+
+
+@st.composite
+def _cdf_points(draw):
+    """Random but valid EmpiricalCdf knot lists.
+
+    Zero increments produce flat (zero-mass) segments, including runs of
+    them at the very start of the CDF — the ``u`` below/at the first knot
+    regime that the vectorized path special-cases."""
+    n = draw(st.integers(2, 6))
+    xs = sorted(draw(st.lists(st.integers(1, 10**7), min_size=n,
+                              max_size=n, unique=True)))
+    incs = draw(st.lists(st.integers(0, 10), min_size=n - 1,
+                         max_size=n - 1))
+    if sum(incs) == 0:
+        incs[-1] = 1
+    total = sum(incs)
+    acc, raw = 0, [0]
+    for inc in incs:
+        acc += inc
+        raw.append(acc)
+    ys = [r / total for r in raw]
+    return list(zip(xs, ys))
+
+
+class TestSampleManyProperty:
+    """``sample_many`` vs the scalar ``sample`` loop on arbitrary CDFs."""
+
+    @given(points=_cdf_points(), scale=st.floats(0.5, 1e6),
+           seed=st.integers(0, 2**32 - 1), n=st.integers(1, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_property_batch_matches_scalar(self, points, scale, seed, n):
+        """Both paths must consume identical RNG stream positions and
+        agree per draw. Sizes are compared within one unit: ``np.exp``
+        and ``math.exp`` may round a last-place ULP apart, which the
+        ``int()`` truncation can widen to at most one byte."""
+        cdf = EmpiricalCdf(points, name="hyp")
+        r_vec = np.random.default_rng(seed)
+        r_scalar = np.random.default_rng(seed)
+        batch = cdf.sample_many(r_vec, n, scale=scale)
+        loop = [cdf.sample(r_scalar, scale) for _ in range(n)]
+        assert len(batch) == n
+        assert all(abs(a - b) <= 1 for a, b in zip(batch, loop))
+        assert all(s >= 1 for s in batch)
+        # Both paths must leave the generator at the same stream position.
+        assert r_vec.random() == r_scalar.random()
 
 
 class TestPoissonTraffic:
@@ -284,6 +406,29 @@ class TestIncast:
         _, incast = self._incast()
         flows = incast.generate()
         assert min(f.flow_id for f in flows) == 1000
+
+    @pytest.mark.parametrize("n_hosts", [0, 1])
+    def test_fewer_than_two_hosts_rejected(self, n_hosts):
+        """A sender pool of < 2 hosts used to reach ``integers(0, 0)``
+        (ZeroDivisionError deep in the sampler at generate() time); it
+        must fail loudly at construction instead."""
+        rng = RngRegistry(2).stream("incast")
+        hosts = [_FakeHost(i) for i in range(n_hosts)]
+        with pytest.raises(ValueError, match="at least 2 hosts"):
+            IncastTraffic(hosts, request_bytes=8 * KB, flows_per_sender=4,
+                          background_bytes_per_ns=5.0,
+                          foreground_fraction=0.1, sim_time_ns=MILLIS,
+                          rng=rng, first_flow_id=1)
+
+    def test_single_host_legal_when_fraction_zero(self):
+        # No incast events will ever fire, so a degenerate pool is fine.
+        rng = RngRegistry(2).stream("incast")
+        incast = IncastTraffic([_FakeHost(0)], request_bytes=8 * KB,
+                               flows_per_sender=4,
+                               background_bytes_per_ns=5.0,
+                               foreground_fraction=0.0,
+                               sim_time_ns=MILLIS, rng=rng, first_flow_id=1)
+        assert incast.generate() == []
 
 
 class _FakeHost:

@@ -262,6 +262,47 @@ def scenario_clos_full(horizon_us: int) -> dict:
             "events_per_sec": result.events_run / elapsed}
 
 
+def scenario_traffic_gen(n_flows: int) -> dict:
+    """Streaming generator suite: merge three composed sources, digest
+    ``n_flows`` flows.
+
+    Pure generator overhead — no simulator. Exercises the empirical-CDF
+    open-loop source, an ON/OFF-modulated bimodal source with a locality
+    matrix, and a coflow source, merged by start time through
+    ``merge_sources`` exactly as the runner's streaming pump consumes them.
+    """
+    import itertools
+
+    from repro.sim.rng import RngRegistry
+    from repro.workloads.gen import (SourceConfig, TrafficConfig,
+                                     build_sources, merge_sources,
+                                     stream_digest, stub_groups)
+
+    traffic = TrafficConfig(sources=(
+        SourceConfig(name="bg", kind="open", load_share=0.7,
+                     locality="grouped:intra=0.8"),
+        SourceConfig(name="burst", kind="open", load_share=0.2,
+                     sizes="bimodal:small_kb=2,large_mb=0.5",
+                     arrivals="onoff:on_us=50,off_us=200",
+                     locality="matrix:intra=0.6"),
+        SourceConfig(name="jobs", kind="coflow", load_share=0.1, fanout=4),
+    ))
+    groups = stub_groups(32, 4)
+    hosts = [h for g in groups for h in g]
+    sources = build_sources(traffic, hosts, groups, load=0.6,
+                            rate_bps=10e9, sim_time_ns=1 << 62,
+                            size_scale=8.0)
+    stream = itertools.islice(merge_sources(sources, RngRegistry(1)),
+                              n_flows)
+    t0 = time.perf_counter()
+    digest = stream_digest(stream)
+    elapsed = time.perf_counter() - t0
+    assert digest.flows >= n_flows
+    return {"n_flows": digest.flows, "elapsed_s": elapsed,
+            "flows_per_sec": digest.flows / elapsed,
+            "total_bytes": digest.total_bytes}
+
+
 def scenario_experiment(_size: int) -> dict:
     """One full ``run_experiment`` on the default config (profiling target)."""
     from repro.experiments.config import ExperimentConfig, SchemeName
@@ -286,6 +327,7 @@ SCENARIOS = {
     "pool": (scenario_pool, "packets"),
     "sweep": (scenario_sweep, "configs"),
     "clos_full": (scenario_clos_full, "microseconds"),
+    "traffic_gen": (scenario_traffic_gen, "flows"),
     "experiment": (scenario_experiment, "events"),
 }
 
@@ -299,15 +341,16 @@ RECORD_NAMES = {
     "pool": "packet_pool",
     "sweep": "sweep_throughput",
     "clos_full": "clos_full",
+    "traffic_gen": "traffic_gen",
     # "experiment" is a profiling target, not a tracked benchmark
 }
 
 QUICK_SIZES = {"dispatch": 20_000, "forwarding": 2_000, "telemetry": 2_000,
                "audit": 2_000, "dwrr": 6_000, "pool": 20_000, "sweep": 4,
-               "clos_full": 50, "experiment": 1}
+               "clos_full": 50, "traffic_gen": 20_000, "experiment": 1}
 FULL_SIZES = {"dispatch": 200_000, "forwarding": 20_000, "telemetry": 20_000,
               "audit": 20_000, "dwrr": 60_000, "pool": 200_000, "sweep": 16,
-              "clos_full": 200, "experiment": 1}
+              "clos_full": 200, "traffic_gen": 200_000, "experiment": 1}
 
 
 def run_scenario(name: str, size: int, profile: bool, top: int,
